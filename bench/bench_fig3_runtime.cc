@@ -1,0 +1,100 @@
+// Figure 3 (a)(b)(c): TPC-C total run time as a function of the number of
+// transactions, for native vs log-consistent vs log-consistent +
+// hash-page-on-read, under three cache/database-size regimes.
+//
+// Paper shapes to reproduce: log-consistent ≈ +10%, +hash-on-read ≈ +20%
+// in the disk-resident configs; the memory-resident config (c) shows the
+// largest relative overhead past the knee, bounded around ~30%.
+//
+//   ./bench_fig3_runtime [total_txns] [step]
+
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace complydb;
+using namespace complydb::bench;
+
+namespace {
+
+struct Config {
+  const char* label;
+  uint32_t warehouses;
+  size_t cache_pages;
+  uint64_t io_latency_micros;  // models the paper's NFS storage server
+};
+
+int RunConfig(const Config& config, uint64_t total, uint64_t step) {
+  std::printf("\n=== Fig 3 config: %s (warehouses=%u, cache=%zu pages) ===\n",
+              config.label, config.warehouses, config.cache_pages);
+  std::printf("%10s %14s %18s %26s %9s %9s\n", "txns", "native_s",
+              "log_consistent_s", "log_consistent+hashread_s", "ovh_lc%",
+              "ovh_hr%");
+
+  tpcc::Scale scale;
+  scale.warehouses = config.warehouses;
+
+  std::vector<std::vector<double>> series;  // per mode: cumulative seconds
+  for (Mode mode : {Mode::kNative, Mode::kLogConsistent,
+                    Mode::kLogConsistentHashOnRead}) {
+    auto env = TpccEnv::Create(BenchDir("fig3"), mode, config.cache_pages,
+                               scale, /*seed=*/1234, /*tsb=*/false,
+                               /*tsb_threshold=*/0.5,
+                               config.io_latency_micros);
+    if (!env.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   env.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> cumulative;
+    Timer timer;
+    for (uint64_t done = 0; done < total; done += step) {
+      Status s = env.value().RunTxns(step);
+      if (!s.ok()) {
+        std::fprintf(stderr, "run failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      cumulative.push_back(timer.Seconds());
+    }
+    series.push_back(std::move(cumulative));
+  }
+
+  for (size_t i = 0; i < series[0].size(); ++i) {
+    double native = series[0][i];
+    double lc = series[1][i];
+    double hr = series[2][i];
+    std::printf("%10llu %14.3f %18.3f %26.3f %8.1f%% %8.1f%%\n",
+                static_cast<unsigned long long>((i + 1) *
+                                                static_cast<size_t>(step)),
+                native, lc, hr, 100.0 * (lc - native) / native,
+                100.0 * (hr - native) / native);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t total = ArgOr(argc, argv, 1, 2000);
+  uint64_t step = ArgOr(argc, argv, 2, 500);
+
+  // (a) multi-warehouse, medium cache: the paper's 10 WH / 256 MB point.
+  // (b) same DB, large cache (512 MB analogue): smaller overhead.
+  // (c) 1 WH, cache >= DB (memory-resident): overhead dominated by the
+  //     regret-interval dirty-page flushing.
+  // 120 us per page I/O approximates the paper's NFS round trip; config
+  // (c) keeps it too — its I/O happens only at regret-interval flushes,
+  // which is exactly the effect Fig. 3(c) isolates.
+  Config configs[] = {
+      {"(a) multi-WH, medium cache", 2, 192, 120},
+      {"(b) multi-WH, large cache", 2, 384, 120},
+      {"(c) 1 WH, memory resident", 1, 4096, 120},
+  };
+  for (const Config& config : configs) {
+    int rc = RunConfig(config, total, step);
+    if (rc != 0) return rc;
+  }
+  std::printf("\nExpected shape: (b) overhead < (a) overhead; (c) largest "
+              "relative slowdown, bounded (~30%% in the paper).\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Micro-benchmarks for the primitives every compliance operation sits on:
+// hashing, the incremental set hash, page record operations.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include <filesystem>
+#include <memory>
+
+#include "btree/btree.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "crypto/add_hash.h"
+#include "crypto/seq_hash.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "storage/buffer_cache.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace complydb {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_AddHashFold(benchmark::State& state) {
+  Random rng(7);
+  std::vector<std::string> tuples;
+  for (int i = 0; i < 1024; ++i) tuples.push_back(rng.Bytes(100));
+  for (auto _ : state) {
+    AddHash h;
+    for (const auto& t : tuples) h.Add(t);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AddHashFold);
+
+void BM_SeqHashPage(benchmark::State& state) {
+  // Hs over a typical page's worth of tuples.
+  Random rng(7);
+  std::vector<std::string> tuples;
+  for (int i = 0; i < 36; ++i) tuples.push_back(rng.Bytes(100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeqHash::ComputeOwned(tuples));
+  }
+}
+BENCHMARK(BM_SeqHashPage);
+
+void BM_PageInsertErase(benchmark::State& state) {
+  Random rng(7);
+  std::string body = rng.Bytes(90);
+  std::string rec;
+  PutFixed16(&rec, static_cast<uint16_t>(2 + body.size()));
+  rec += body;
+  for (auto _ : state) {
+    Page p;
+    p.Format(1, PageType::kBtreeLeaf, 0, 0);
+    while (p.AppendRecord(rec).ok()) {
+    }
+    while (p.slot_count() > 0) {
+      (void)p.EraseRecord(0);
+    }
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PageInsertErase);
+
+void BM_BtreeInsert(benchmark::State& state) {
+  std::string path = "/tmp/complydb_bench_micro_btree.db";
+  Random rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(path);
+    auto d = DiskManager::Open(path);
+    std::unique_ptr<DiskManager> disk(d.value());
+    BufferCache cache(disk.get(), 256);
+    auto root = Btree::Create(&cache, 1);
+    BtreeEnv env;
+    env.cache = &cache;
+    Btree tree(env, 1, root.value());
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      TupleData t;
+      t.key = "key" + std::to_string(rng.Next() % 100000);
+      t.value = "value-payload-of-reasonable-size";
+      t.start = static_cast<uint64_t>(i + 1);
+      t.stamped = true;
+      benchmark::DoNotOptimize(tree.InsertVersion(nullptr, t, nullptr, nullptr));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_BtreeInsert);
+
+void BM_BtreeGetLatest(benchmark::State& state) {
+  std::string path = "/tmp/complydb_bench_micro_btree_get.db";
+  std::filesystem::remove(path);
+  auto d = DiskManager::Open(path);
+  std::unique_ptr<DiskManager> disk(d.value());
+  BufferCache cache(disk.get(), 512);
+  auto root = Btree::Create(&cache, 1);
+  BtreeEnv env;
+  env.cache = &cache;
+  Btree tree(env, 1, root.value());
+  for (int i = 0; i < 5000; ++i) {
+    TupleData t;
+    t.key = "key" + std::to_string(i);
+    t.value = "value-payload";
+    t.start = static_cast<uint64_t>(i + 1);
+    t.stamped = true;
+    (void)tree.InsertVersion(nullptr, t, nullptr, nullptr);
+  }
+  Random rng(11);
+  for (auto _ : state) {
+    TupleData out;
+    std::string key = "key" + std::to_string(rng.Uniform(5000));
+    benchmark::DoNotOptimize(tree.GetLatest(key, &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BtreeGetLatest);
+
+void BM_TupleEncodeDecode(benchmark::State& state) {
+  Random rng(3);
+  TupleData t;
+  t.key = rng.Bytes(16);
+  t.value = rng.Bytes(100);
+  t.start = 123456789;
+  t.stamped = true;
+  for (auto _ : state) {
+    std::string rec = EncodeTuple(t);
+    TupleData back;
+    benchmark::DoNotOptimize(DecodeTuple(rec, &back));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TupleEncodeDecode);
+
+}  // namespace
+}  // namespace complydb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+#ifndef COMPLYDB_BENCH_BENCH_UTIL_H_
+#define COMPLYDB_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure/table reproduction harnesses. Each bench
+// binary prints the same rows/series the paper reports (§VII); absolute
+// numbers differ from the 2009 testbed, the *shapes* are the deliverable.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "db/compliant_db.h"
+#include "tpcc/workload.h"
+
+namespace complydb {
+namespace bench {
+
+inline constexpr uint64_t kMinute = 60ull * 1'000'000;
+
+/// Which compliance configuration a run uses (the three lines of Fig. 3).
+enum class Mode { kNative, kLogConsistent, kLogConsistentHashOnRead };
+
+inline const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kNative:
+      return "native";
+    case Mode::kLogConsistent:
+      return "log-consistent";
+    case Mode::kLogConsistentHashOnRead:
+      return "log-consistent+hash-on-read";
+  }
+  return "?";
+}
+
+struct Timer {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+};
+
+/// One TPC-C environment: fresh directory, simulated clock, loaded tables.
+struct TpccEnv {
+  std::unique_ptr<SimulatedClock> clock;
+  std::unique_ptr<CompliantDB> db;
+  std::unique_ptr<tpcc::Workload> workload;
+
+  static Result<TpccEnv> Create(const std::string& dir, Mode mode,
+                                size_t cache_pages, const tpcc::Scale& scale,
+                                uint64_t seed, bool tsb = false,
+                                double tsb_threshold = 0.5,
+                                uint64_t io_latency_micros = 0) {
+    std::filesystem::remove_all(dir);
+    TpccEnv env;
+    env.clock = std::make_unique<SimulatedClock>();
+    DbOptions options;
+    options.dir = dir;
+    options.cache_pages = cache_pages;
+    options.io_latency_micros = io_latency_micros;
+    options.clock = env.clock.get();
+    options.compliance.enabled = mode != Mode::kNative;
+    options.compliance.hash_on_read =
+        mode == Mode::kLogConsistentHashOnRead;
+    options.compliance.regret_interval_micros = 5 * kMinute;
+    options.tsb_enabled = tsb;
+    options.tsb_split_threshold = tsb_threshold;
+
+    auto open = CompliantDB::Open(options);
+    if (!open.ok()) return open.status();
+    env.db.reset(open.value());
+    env.workload =
+        std::make_unique<tpcc::Workload>(env.db.get(), scale, seed);
+    CDB_RETURN_IF_ERROR(env.workload->CreateOrAttachTables());
+    CDB_RETURN_IF_ERROR(env.workload->Load());
+    return env;
+  }
+
+  /// Runs `n` mix transactions, advancing simulated time so regret-
+  /// interval work (dirty-page forcing, stamping, witnesses) happens at a
+  /// realistic cadence (~one interval per 500 transactions).
+  Status RunTxns(uint64_t n) {
+    tpcc::MixStats stats;
+    uint64_t per_txn = 5 * kMinute / 500;
+    for (uint64_t i = 0; i < n; ++i) {
+      CDB_RETURN_IF_ERROR(workload->RunMix(1, &stats));
+      clock->AdvanceMicros(per_txn);
+    }
+    return Status::OK();
+  }
+};
+
+inline uint64_t ArgOr(int argc, char** argv, int index, uint64_t fallback) {
+  if (argc > index) return std::strtoull(argv[index], nullptr, 10);
+  return fallback;
+}
+
+inline std::string BenchDir(const std::string& name) {
+  const char* base = std::getenv("COMPLYDB_BENCH_DIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/complydb_bench_" +
+         name;
+}
+
+}  // namespace bench
+}  // namespace complydb
+
+#endif  // COMPLYDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,236 @@
+#include "adversary/mala.h"
+#include <filesystem>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "btree/btree.h"
+#include "btree/tuple.h"
+
+namespace complydb {
+
+Result<PageId> Mala::PageCount() const {
+  std::FILE* f = std::fopen(db_path_.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("mala: open " + db_path_);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) return Status::IOError("mala: size");
+  return static_cast<PageId>(static_cast<size_t>(size) / kPageSize);
+}
+
+Status Mala::LoadPage(PageId pgno, Page* page) const {
+  std::FILE* f = std::fopen(db_path_.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("mala: open " + db_path_);
+  std::fseek(f, static_cast<long>(pgno) * kPageSize, SEEK_SET);
+  size_t n = std::fread(page->data(), 1, kPageSize, f);
+  std::fclose(f);
+  if (n != kPageSize) return Status::IOError("mala: short read");
+  return Status::OK();
+}
+
+Status Mala::StorePage(PageId pgno, const Page& page) const {
+  std::FILE* f = std::fopen(db_path_.c_str(), "r+b");
+  if (f == nullptr) return Status::IOError("mala: open rw " + db_path_);
+  std::fseek(f, static_cast<long>(pgno) * kPageSize, SEEK_SET);
+  size_t n = std::fwrite(page.data(), 1, kPageSize, f);
+  std::fflush(f);
+  std::fclose(f);
+  if (n != kPageSize) return Status::IOError("mala: short write");
+  return Status::OK();
+}
+
+Status Mala::FindVersion(uint32_t tree_id, Slice key, uint64_t start,
+                         bool latest_ok, PageId* pgno_out,
+                         uint16_t* slot_out) const {
+  Result<PageId> count = PageCount();
+  if (!count.ok()) return count.status();
+  PageId best_pgno = kInvalidPage;
+  uint16_t best_slot = 0;
+  uint64_t best_start = 0;
+  for (PageId pgno = 1; pgno < count.value(); ++pgno) {
+    Page page;
+    CDB_RETURN_IF_ERROR(LoadPage(pgno, &page));
+    if (!page.IsFormatted() || page.type() != PageType::kBtreeLeaf ||
+        page.tree_id() != tree_id) {
+      continue;
+    }
+    for (uint16_t i = 0; i < page.slot_count(); ++i) {
+      TupleData t;
+      if (!DecodeTuple(page.RecordAt(i), &t).ok()) continue;
+      if (t.key != key.view()) continue;
+      if (!latest_ok) {
+        if (t.start == start) {
+          *pgno_out = pgno;
+          *slot_out = i;
+          return Status::OK();
+        }
+      } else if (t.start >= best_start) {
+        best_start = t.start;
+        best_pgno = pgno;
+        best_slot = i;
+      }
+    }
+  }
+  if (latest_ok && best_pgno != kInvalidPage) {
+    *pgno_out = best_pgno;
+    *slot_out = best_slot;
+    return Status::OK();
+  }
+  return Status::NotFound("mala: version not found");
+}
+
+Status Mala::TamperTupleValue(uint32_t tree_id, Slice key) {
+  PageId pgno;
+  uint16_t slot;
+  CDB_RETURN_IF_ERROR(FindVersion(tree_id, key, 0, true, &pgno, &slot));
+  Page page;
+  CDB_RETURN_IF_ERROR(LoadPage(pgno, &page));
+  TupleData t;
+  CDB_RETURN_IF_ERROR(DecodeTuple(page.RecordAt(slot), &t));
+  if (t.value.empty()) return Status::InvalidArgument("mala: empty value");
+  t.value[0] = static_cast<char>(t.value[0] ^ 0x5A);
+  CDB_RETURN_IF_ERROR(page.ReplaceRecord(slot, EncodeTuple(t)));
+  return StorePage(pgno, page);
+}
+
+Status Mala::DeleteTupleVersion(uint32_t tree_id, Slice key, uint64_t start) {
+  PageId pgno;
+  uint16_t slot;
+  CDB_RETURN_IF_ERROR(FindVersion(tree_id, key, start, false, &pgno, &slot));
+  Page page;
+  CDB_RETURN_IF_ERROR(LoadPage(pgno, &page));
+  CDB_RETURN_IF_ERROR(page.EraseRecord(slot));
+  return StorePage(pgno, page);
+}
+
+Status Mala::SwapLeafEntries(uint32_t tree_id) {
+  Result<PageId> count = PageCount();
+  if (!count.ok()) return count.status();
+  for (PageId pgno = 1; pgno < count.value(); ++pgno) {
+    Page page;
+    CDB_RETURN_IF_ERROR(LoadPage(pgno, &page));
+    if (!page.IsFormatted() || page.type() != PageType::kBtreeLeaf ||
+        page.tree_id() != tree_id || page.slot_count() < 2) {
+      continue;
+    }
+    std::string rec0(page.RecordAt(0).data(), page.RecordAt(0).size());
+    std::string rec1(page.RecordAt(1).data(), page.RecordAt(1).size());
+    // Only a swap of *different keys* misroutes lookups (Fig. 2(b)).
+    Slice k0, k1;
+    uint64_t s0, s1;
+    if (!DecodeTupleKey(rec0, &k0, &s0).ok() ||
+        !DecodeTupleKey(rec1, &k1, &s1).ok() || k0 == k1) {
+      continue;
+    }
+    CDB_RETURN_IF_ERROR(page.EraseRecord(0));
+    CDB_RETURN_IF_ERROR(page.InsertRecord(0, rec1));
+    CDB_RETURN_IF_ERROR(page.EraseRecord(1));
+    CDB_RETURN_IF_ERROR(page.InsertRecord(1, rec0));
+    return StorePage(pgno, page);
+  }
+  return Status::NotFound("mala: no leaf with two distinct keys");
+}
+
+Status Mala::TamperInternalKey(uint32_t tree_id, int delta) {
+  Result<PageId> count = PageCount();
+  if (!count.ok()) return count.status();
+  for (PageId pgno = 0; pgno < count.value(); ++pgno) {
+    Page page;
+    CDB_RETURN_IF_ERROR(LoadPage(pgno, &page));
+    if (!page.IsFormatted() || page.type() != PageType::kBtreeInternal ||
+        page.tree_id() != tree_id || page.slot_count() < 2) {
+      continue;
+    }
+    IndexEntry e;
+    CDB_RETURN_IF_ERROR(DecodeIndexEntry(page.RecordAt(1), &e));
+    if (e.key.empty()) continue;
+    e.key.back() = static_cast<char>(e.key.back() + delta);
+    CDB_RETURN_IF_ERROR(page.ReplaceRecord(1, EncodeIndexEntry(e)));
+    return StorePage(pgno, page);
+  }
+  return Status::NotFound("mala: no internal page to tamper");
+}
+
+Status Mala::InsertBackdatedTuple(uint32_t tree_id, Slice key, Slice value,
+                                  uint64_t past_commit_time) {
+  // Place the forged tuple in the correct leaf at the correct position,
+  // exactly as a legitimate insert would have — the file-level forgery is
+  // undetectable by structural checks alone.
+  Result<PageId> count = PageCount();
+  if (!count.ok()) return count.status();
+  PageId target = kInvalidPage;
+  for (PageId pgno = 1; pgno < count.value(); ++pgno) {
+    Page page;
+    CDB_RETURN_IF_ERROR(LoadPage(pgno, &page));
+    if (!page.IsFormatted() || page.type() != PageType::kBtreeLeaf ||
+        page.tree_id() != tree_id || page.slot_count() == 0) {
+      continue;
+    }
+    Slice first_key, last_key;
+    uint64_t fs, ls;
+    CDB_RETURN_IF_ERROR(DecodeTupleKey(page.RecordAt(0), &first_key, &fs));
+    CDB_RETURN_IF_ERROR(DecodeTupleKey(
+        page.RecordAt(static_cast<uint16_t>(page.slot_count() - 1)),
+        &last_key, &ls));
+    if (CompareVersion(key, past_commit_time, first_key, fs) >= 0 &&
+        (target == kInvalidPage ||
+         CompareVersion(key, past_commit_time, last_key, ls) <= 0)) {
+      target = pgno;
+      if (CompareVersion(key, past_commit_time, last_key, ls) <= 0) break;
+    }
+  }
+  if (target == kInvalidPage) return Status::NotFound("mala: no leaf fits");
+
+  Page page;
+  CDB_RETURN_IF_ERROR(LoadPage(target, &page));
+  TupleData t;
+  t.key = key.ToString();
+  t.value = value.ToString();
+  t.start = past_commit_time;
+  t.stamped = true;
+  t.order_no = page.TakeOrderNumber();
+  uint16_t pos = LeafLowerBound(page, key, past_commit_time);
+  CDB_RETURN_IF_ERROR(page.InsertRecord(pos, EncodeTuple(t)));
+  return StorePage(target, page);
+}
+
+Status Mala::TruncateWalBytes(const std::string& wal_path, size_t bytes) {
+  std::FILE* f = std::fopen(wal_path.c_str(), "r+b");
+  if (f == nullptr) return Status::IOError("mala: open wal");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  size_t n = std::min(static_cast<size_t>(size), bytes);
+  std::fseek(f, static_cast<long>(size - static_cast<long>(n)), SEEK_SET);
+  std::string zeros(n, '\0');
+  std::fwrite(zeros.data(), 1, n, f);
+  std::fflush(f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status Mala::TruncateWalFile(const std::string& wal_path, size_t drop_bytes) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(wal_path, ec);
+  if (ec) return Status::IOError("mala: wal size");
+  size_t keep = size > drop_bytes ? size - drop_bytes : 0;
+  std::filesystem::resize_file(wal_path, keep, ec);
+  if (ec) return Status::IOError("mala: wal truncate");
+  return Status::OK();
+}
+
+Status Mala::AttackWormStore(WormStore* worm, const std::string& file_name) {
+  // 1. Try to delete an unexpired file.
+  Status del = worm->Delete(file_name);
+  if (!del.IsWormViolation() && !del.IsNotFound()) {
+    return Status::Corruption("worm allowed premature delete!");
+  }
+  // 2. Try to recreate (overwrite) an existing file.
+  Status create = worm->Create(file_name, 1);
+  if (!create.IsWormViolation()) {
+    return Status::Corruption("worm allowed create-over-existing!");
+  }
+  return Status::OK();
+}
+
+}  // namespace complydb

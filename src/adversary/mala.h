@@ -1,0 +1,73 @@
+#ifndef COMPLYDB_ADVERSARY_MALA_H_
+#define COMPLYDB_ADVERSARY_MALA_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// Mala, the paper's insider adversary (§II): she has (or can assume)
+/// root on the DBMS host, and edits the database file, indexes, and
+/// transaction log directly with a file editor. She can issue any command
+/// to the WORM server's public interface, but cannot subvert the WORM
+/// server itself — that is the architecture's trust anchor.
+///
+/// Every method operates on the raw files, bypassing the DBMS entirely
+/// (run them against a closed/crashed database, as Mala would). The test
+/// suite asserts that each attack is caught by the audit, and that each
+/// WORM-directed attack is refused by the store.
+class Mala {
+ public:
+  explicit Mala(std::string db_path) : db_path_(std::move(db_path)) {}
+
+  /// Flips bytes inside the latest version of `key`'s value (retroactive
+  /// alteration — the primary SOX/17a-4 threat).
+  Status TamperTupleValue(uint32_t tree_id, Slice key);
+
+  /// Physically removes the version (key, start) from its leaf, patching
+  /// the page to remain structurally valid (shredding unexpired data).
+  Status DeleteTupleVersion(uint32_t tree_id, Slice key, uint64_t start);
+
+  /// Fig. 2(b): swaps two adjacent leaf entries so lookups fail.
+  Status SwapLeafEntries(uint32_t tree_id);
+
+  /// Fig. 2(c): bumps an internal separator key past its child's minimum.
+  /// `delta` = -1 reverts a prior +1 tamper (state-reversion attacks).
+  Status TamperInternalKey(uint32_t tree_id, int delta = 1);
+
+  /// Post-hoc insertion (threat 2): fabricates a committed tuple with a
+  /// backdated commit time, correctly placed and order-numbered, without
+  /// a compliance-log trail.
+  Status InsertBackdatedTuple(uint32_t tree_id, Slice key, Slice value,
+                              uint64_t past_commit_time);
+
+  /// Rewrites the tail of the DBMS transaction log with zeros (hiding
+  /// recently committed work before recovery).
+  Status TruncateWalBytes(const std::string& wal_path, size_t bytes);
+
+  /// Shortens the transaction log file, silently dropping its tail — the
+  /// cleaner variant of hiding recent commits before recovery runs.
+  Status TruncateWalFile(const std::string& wal_path, size_t drop_bytes);
+
+  /// Attacks against the WORM server's public interface; all must be
+  /// refused. Returns OK iff every attempt was rejected.
+  Status AttackWormStore(WormStore* worm, const std::string& file_name);
+
+ private:
+  Status LoadPage(PageId pgno, Page* page) const;
+  Status StorePage(PageId pgno, const Page& page) const;
+  Result<PageId> PageCount() const;
+  /// Finds the leaf page + slot holding (key, start) by brute-force file
+  /// scan (Mala does not need the index).
+  Status FindVersion(uint32_t tree_id, Slice key, uint64_t start,
+                     bool latest_ok, PageId* pgno, uint16_t* slot) const;
+
+  std::string db_path_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_ADVERSARY_MALA_H_

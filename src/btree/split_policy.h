@@ -1,0 +1,39 @@
+#ifndef COMPLYDB_BTREE_SPLIT_POLICY_H_
+#define COMPLYDB_BTREE_SPLIT_POLICY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace complydb {
+
+/// What to do when a leaf overflows.
+enum class SplitKind {
+  kKeySplit,   // ordinary B+-tree split on the (key, start) ordering
+  kTimeSplit,  // move superseded versions to a WORM historical page (§VI)
+};
+
+/// Policy hook consulted on leaf overflow. The default policy always key-
+/// splits (a plain B+-tree). The time-split policy (src/tsb) implements the
+/// paper's split-threshold rule: "if the number of distinct keys in a leaf
+/// page is less than the split-threshold fraction of the total number of
+/// tuples, the page is split on keys; otherwise it is split on time."
+class SplitPolicy {
+ public:
+  virtual ~SplitPolicy() = default;
+  virtual SplitKind Decide(const Page& leaf) = 0;
+};
+
+/// Receives historical pages produced by time splits; implemented over the
+/// WORM store. Returns the WORM name under which the page was persisted.
+class MigrationSink {
+ public:
+  virtual ~MigrationSink() = default;
+  virtual Result<std::string> WriteHistoricalPage(uint32_t tree_id,
+                                                  const Page& image) = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_BTREE_SPLIT_POLICY_H_

@@ -1,0 +1,45 @@
+#ifndef COMPLYDB_BTREE_STRUCTURE_OBSERVER_H_
+#define COMPLYDB_BTREE_STRUCTURE_OBSERVER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace complydb {
+
+/// Synchronous notifications of structure modifications, consumed by the
+/// compliance logger. The paper's PAGE_SPLIT records (§V) require the
+/// plugin to know how tuples moved between pages — a pwrite-level diff
+/// alone would misread a split as mass deletion plus mass insertion.
+///
+/// Contract: each callback fires *before* any post-image reaches disk, and
+/// a non-OK return aborts the operation (compliance records must reach
+/// WORM first, mirroring the data-page rule).
+class StructureObserver {
+ public:
+  virtual ~StructureObserver() = default;
+
+  /// Page `old_pgno` split; upper entries moved to fresh page `new_pgno`.
+  virtual Status OnPageSplit(uint32_t tree_id, uint8_t level, PageId old_pgno,
+                             PageId new_pgno, const Page& pre_old,
+                             const Page& post_old, const Page& post_new) = 0;
+
+  /// The (fixed) root page was full: its entries moved into two fresh
+  /// children and the root became an internal node one level up.
+  virtual Status OnRootGrow(uint32_t tree_id, PageId root_pgno,
+                            PageId left_pgno, PageId right_pgno,
+                            const Page& pre_root, const Page& post_root,
+                            const Page& post_left, const Page& post_right) = 0;
+
+  /// Time split: superseded versions of live page `live_pgno` moved to the
+  /// WORM historical page `hist_name` (§VI).
+  virtual Status OnMigrate(uint32_t tree_id, PageId live_pgno,
+                           const Page& pre_live, const Page& post_live,
+                           const std::string& hist_name,
+                           const Page& hist_image) = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_BTREE_STRUCTURE_OBSERVER_H_

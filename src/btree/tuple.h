@@ -1,0 +1,78 @@
+#ifndef COMPLYDB_BTREE_TUPLE_H_
+#define COMPLYDB_BTREE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace complydb {
+
+/// Largest tuple record we accept; guarantees several tuples per page.
+constexpr size_t kMaxTupleRecord = 1024;
+
+/// A physical tuple version as stored in a B+-tree leaf.
+///
+/// Transaction-time semantics (paper §II): every INSERT/UPDATE/DELETE
+/// creates a new version. `start` holds the transaction id until the lazy
+/// timestamper upgrades it to the commit time (`stamped` flips to true) —
+/// the paper's "temporary commit time value". DELETE inserts an
+/// end-of-life version (`eol`).
+///
+/// `order_no` is the tuple order number of the hash-page-on-read
+/// refinement (§V): assigned from the page's counter at insert, stable for
+/// the tuple's life on that page, and the sort key for the sequential page
+/// hash Hs.
+struct TupleData {
+  std::string key;
+  std::string value;
+  uint64_t start = 0;
+  uint16_t order_no = 0;
+  bool stamped = false;
+  bool eol = false;
+
+  /// Canonical identity bytes for the completeness hash: excludes
+  /// order_no and page placement, which may legitimately change (splits),
+  /// and uses the *commit time* start (callers must resolve txn ids
+  /// first). Layout: tree_id | start | eol | key | value.
+  std::string IdentityBytes(uint32_t tree_id, uint64_t commit_start) const;
+};
+
+/// Leaf record layout:
+///   rec_len u16 | flags u8 | order_no u16 | start u64 | key_len u16 |
+///   key | value
+std::string EncodeTuple(const TupleData& t);
+Status DecodeTuple(Slice record, TupleData* out);
+
+/// Internal-node entry: the minimum (key, start) of the child's subtree
+/// plus the child page id (min-key representation; the audit's parent/
+/// child consistency check compares these minima, §IV-C).
+/// Layout: rec_len u16 | child u32 | start u64 | key_len u16 | key
+struct IndexEntry {
+  std::string key;
+  uint64_t start = 0;
+  PageId child = kInvalidPage;
+};
+
+std::string EncodeIndexEntry(const IndexEntry& e);
+Status DecodeIndexEntry(Slice record, IndexEntry* out);
+
+/// Zero-copy accessors for the hot comparison paths: extract (key, start)
+/// from an encoded record without decoding the whole tuple. The record
+/// must be well-formed (callers run CheckStructure / DecodeTuple on
+/// untrusted pages first).
+Status DecodeTupleKey(Slice record, Slice* key, uint64_t* start);
+Status DecodeIndexEntryKey(Slice record, Slice* key, uint64_t* start,
+                           PageId* child);
+
+/// Version ordering: (key asc, start asc). With serial transactions the
+/// lazy stamp upgrade (txn id -> commit time) never reorders versions,
+/// because txn-id and commit-time draws interleave monotonically.
+int CompareVersion(Slice key_a, uint64_t start_a, Slice key_b,
+                   uint64_t start_b);
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_BTREE_TUPLE_H_

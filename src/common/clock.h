@@ -1,0 +1,48 @@
+#ifndef COMPLYDB_COMMON_CLOCK_H_
+#define COMPLYDB_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace complydb {
+
+/// Time source used for commit times, regret-interval bookkeeping, WORM
+/// create times, and retention checks. All times are microseconds.
+///
+/// Two implementations: SystemClock (wall clock) and SimulatedClock
+/// (manually advanced). Tests and benchmarks use the simulated clock so
+/// that regret intervals can elapse instantly and runs are deterministic —
+/// the paper's 5-minute regret interval becomes a single Advance() call.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual uint64_t NowMicros() = 0;
+};
+
+/// Real wall-clock time (CLOCK_REALTIME).
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() override;
+};
+
+/// Manually advanced clock. Starts at a nonzero epoch so that time 0 can
+/// mean "never" in file formats.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(uint64_t start_micros = 1'000'000)
+      : now_(start_micros) {}
+
+  uint64_t NowMicros() override { return now_; }
+
+  void AdvanceMicros(uint64_t d) { now_ += d; }
+  void AdvanceSeconds(uint64_t s) { now_ += s * 1'000'000ull; }
+
+ private:
+  uint64_t now_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMMON_CLOCK_H_

@@ -1,0 +1,21 @@
+#ifndef COMPLYDB_COMMON_CRC32_H_
+#define COMPLYDB_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace complydb {
+
+/// CRC-32 (IEEE 802.3 polynomial). Used as the integrity checksum on WAL
+/// and compliance-log records; *not* a security primitive — tamper
+/// detection relies on the crypto module, CRC only catches torn writes.
+uint32_t Crc32(Slice data);
+
+/// Extends a running CRC with more data (crc is the value returned by a
+/// previous Crc32/Crc32Extend call).
+uint32_t Crc32Extend(uint32_t crc, Slice data);
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMMON_CRC32_H_

@@ -1,0 +1,50 @@
+#ifndef COMPLYDB_COMMON_RANDOM_H_
+#define COMPLYDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace complydb {
+
+/// Deterministic xorshift64* PRNG. Tests, benchmarks, and the TPC-C driver
+/// use this (never std::rand) so every run is reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Random printable-ish byte string of length n.
+  std::string Bytes(size_t n) {
+    std::string s(n, '\0');
+    for (size_t i = 0; i < n; ++i) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMMON_RANDOM_H_

@@ -1,0 +1,58 @@
+#ifndef COMPLYDB_COMMON_SLICE_H_
+#define COMPLYDB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace complydb {
+
+/// A non-owning view over a byte range, in the RocksDB idiom. Thin wrapper
+/// over std::string_view with byte-oriented helpers; keys and values flow
+/// through the engine as Slices and are copied only at page boundaries.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const char* data, size_t size) : view_(data, size) {}
+  Slice(const std::string& s) : view_(s) {}       // NOLINT
+  Slice(const char* s) : view_(s) {}              // NOLINT
+  Slice(std::string_view v) : view_(v) {}         // NOLINT
+  Slice(const unsigned char* data, size_t size)
+      : view_(reinterpret_cast<const char*>(data), size) {}
+
+  const char* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  char operator[](size_t i) const { return view_[i]; }
+
+  std::string ToString() const { return std::string(view_); }
+  std::string_view view() const { return view_; }
+
+  /// Three-way lexicographic byte comparison.
+  int compare(const Slice& other) const {
+    return view_.compare(other.view_);
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return view_.size() >= prefix.size() &&
+           view_.compare(0, prefix.size(), prefix.view_) == 0;
+  }
+
+  void remove_prefix(size_t n) { view_.remove_prefix(n); }
+
+ private:
+  std::string_view view_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.view() == b.view();
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMMON_SLICE_H_

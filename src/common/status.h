@@ -1,0 +1,107 @@
+#ifndef COMPLYDB_COMMON_STATUS_H_
+#define COMPLYDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace complydb {
+
+/// Error-code-based result type used throughout the library (no exceptions).
+///
+/// Codes mirror the situations a compliant DBMS must distinguish: ordinary
+/// I/O and corruption failures, plus `kTampered` which is reserved for
+/// integrity violations detected by the auditor or the WORM store, and
+/// `kWormViolation` for attempts to modify term-immutable data.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kBusy = 6,
+    kTampered = 7,
+    kWormViolation = 8,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Tampered(std::string msg) {
+    return Status(Code::kTampered, std::move(msg));
+  }
+  static Status WormViolation(std::string msg) {
+    return Status(Code::kWormViolation, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTampered() const { return code_ == Code::kTampered; }
+  bool IsWormViolation() const { return code_ == Code::kWormViolation; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define CDB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::complydb::Status _cdb_status = (expr);       \
+    if (!_cdb_status.ok()) return _cdb_status;     \
+  } while (0)
+
+/// A Status plus a value; the value is only meaningful when status().ok().
+template <typename T>
+class Result {
+ public:
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T&& TakeValue() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMMON_STATUS_H_

@@ -1,0 +1,105 @@
+#include "compliance/compliance_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace complydb {
+
+namespace {
+std::string PadNum(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08" PRIu64, n);
+  return buf;
+}
+}  // namespace
+
+std::string LogFileName(uint64_t epoch) { return "L_" + PadNum(epoch); }
+std::string StampIndexFileName(uint64_t epoch) {
+  return "Lidx_" + PadNum(epoch);
+}
+std::string SnapshotFileName(uint64_t epoch) {
+  return "snapshot_" + PadNum(epoch);
+}
+std::string WitnessFileName(uint64_t epoch, uint64_t seq) {
+  return "witness_" + PadNum(epoch) + "_" + PadNum(seq);
+}
+std::string TxTailFileName(uint64_t epoch, uint64_t seq) {
+  return "txtail_" + PadNum(epoch) + "_" + PadNum(seq);
+}
+std::string HistPageFileName(uint32_t tree_id, uint64_t seq) {
+  return "hist_" + PadNum(tree_id) + "_" + PadNum(seq);
+}
+
+Status ComplianceLog::Create() {
+  CDB_RETURN_IF_ERROR(worm_->Create(LogFileName(epoch_), 0));
+  CDB_RETURN_IF_ERROR(worm_->Create(StampIndexFileName(epoch_), 0));
+  size_ = 0;
+  record_count_ = 0;
+  return Status::OK();
+}
+
+Status ComplianceLog::OpenExisting() {
+  auto info = worm_->GetInfo(LogFileName(epoch_));
+  if (!info.ok()) return info.status();
+  size_ = info.value().size;
+  // Count records (cheap single pass; also validates framing).
+  record_count_ = 0;
+  return Scan([&](const CRecord&, uint64_t) {
+    ++record_count_;
+    return Status::OK();
+  });
+}
+
+Status ComplianceLog::AppendUnflushed(const CRecord& rec) {
+  std::string framed = rec.Encode();
+  uint64_t offset = size_;
+  CDB_RETURN_IF_ERROR(worm_->AppendUnflushed(LogFileName(epoch_), framed));
+  size_ += framed.size();
+  ++record_count_;
+  if (rec.type == CRecordType::kStampTrans) {
+    std::string entry;
+    PutFixed64(&entry, rec.txn_id);
+    PutFixed64(&entry, offset);
+    PutFixed64(&entry, rec.commit_time);
+    CDB_RETURN_IF_ERROR(
+        worm_->AppendUnflushed(StampIndexFileName(epoch_), entry));
+  }
+  return Status::OK();
+}
+
+Status ComplianceLog::Flush() {
+  CDB_RETURN_IF_ERROR(worm_->FlushAppends(LogFileName(epoch_)));
+  return worm_->FlushAppends(StampIndexFileName(epoch_));
+}
+
+Status ComplianceLog::Append(const CRecord& rec) {
+  CDB_RETURN_IF_ERROR(AppendUnflushed(rec));
+  return Flush();
+}
+
+Status ComplianceLog::Scan(
+    const std::function<Status(const CRecord&, uint64_t)>& fn) const {
+  std::string blob;
+  CDB_RETURN_IF_ERROR(worm_->ReadAll(LogFileName(epoch_), &blob));
+  return ScanCRecords(blob, fn);
+}
+
+Status ComplianceLog::ScanStampIndex(
+    const std::function<Status(TxnId, uint64_t, uint64_t)>& fn) const {
+  std::string blob;
+  CDB_RETURN_IF_ERROR(worm_->ReadAll(StampIndexFileName(epoch_), &blob));
+  if (blob.size() % 24 != 0) {
+    return Status::Corruption("stamp index size not a multiple of 24");
+  }
+  for (size_t off = 0; off < blob.size(); off += 24) {
+    TxnId txn = DecodeFixed64(blob.data() + off);
+    uint64_t l_off = DecodeFixed64(blob.data() + off + 8);
+    uint64_t commit = DecodeFixed64(blob.data() + off + 16);
+    CDB_RETURN_IF_ERROR(fn(txn, l_off, commit));
+  }
+  return Status::OK();
+}
+
+}  // namespace complydb

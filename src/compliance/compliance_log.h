@@ -1,0 +1,71 @@
+#ifndef COMPLYDB_COMPLIANCE_COMPLIANCE_LOG_H_
+#define COMPLYDB_COMPLIANCE_COMPLIANCE_LOG_H_
+
+#include <functional>
+#include <string>
+
+#include "compliance/records.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// Naming scheme for the per-epoch WORM files. An epoch is the span
+/// between two audits; audit n verifies (snapshot_n, L_n) and produces
+/// snapshot_{n+1}, after which epoch n+1 begins.
+std::string LogFileName(uint64_t epoch);
+std::string StampIndexFileName(uint64_t epoch);
+std::string SnapshotFileName(uint64_t epoch);
+std::string WitnessFileName(uint64_t epoch, uint64_t seq);
+std::string TxTailFileName(uint64_t epoch, uint64_t seq);
+std::string HistPageFileName(uint32_t tree_id, uint64_t seq);
+
+/// Append/scan access to one epoch's compliance log L on WORM. Appends are
+/// synchronous and durable: a record "is on WORM" when Append returns.
+///
+/// The auxiliary stamp index (paper §IV-A) records, for every STAMP_TRANS,
+/// the transaction id, its offset in L, and the commit time, letting the
+/// auditor build its txn-id -> commit-time table without a preliminary
+/// pass over the full log.
+class ComplianceLog {
+ public:
+  ComplianceLog(WormStore* worm, uint64_t epoch)
+      : worm_(worm), epoch_(epoch) {}
+
+  /// Creates the epoch's L and stamp-index files (must not exist).
+  Status Create();
+
+  /// Opens existing files, positioning the append offset.
+  Status OpenExisting();
+
+  Status Append(const CRecord& rec);
+
+  /// Batched variant: bytes reach the OS only at Flush(). A record is "on
+  /// WORM" only after Flush returns; the compliance logger batches the
+  /// records of one pwrite diff and flushes before the pwrite proceeds.
+  Status AppendUnflushed(const CRecord& rec);
+  Status Flush();
+
+  /// Bytes appended so far (the next record's offset).
+  uint64_t size() const { return size_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t record_count() const { return record_count_; }
+
+  /// Scans this epoch's records in order.
+  Status Scan(const std::function<Status(const CRecord&, uint64_t)>& fn) const;
+
+  /// Scans the stamp index: fn(txn_id, offset_in_L, commit_time).
+  Status ScanStampIndex(
+      const std::function<Status(TxnId, uint64_t, uint64_t)>& fn) const;
+
+  WormStore* worm() const { return worm_; }
+
+ private:
+  WormStore* worm_;
+  uint64_t epoch_;
+  uint64_t size_ = 0;
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMPLIANCE_COMPLIANCE_LOG_H_

@@ -1,0 +1,550 @@
+#include "compliance/logger.h"
+
+#include "btree/tuple.h"
+
+namespace complydb {
+
+Status ComplianceLogger::StartFreshEpoch(uint64_t epoch) {
+  if (!options_.enabled) return Status::OK();
+  log_ = std::make_unique<ComplianceLog>(worm_, epoch);
+  CDB_RETURN_IF_ERROR(log_->Create());
+  baseline_.clear();
+  index_baseline_.clear();
+  unsynced_.clear();
+  evict_queue_.clear();
+  stamps_on_log_.clear();
+  aborts_on_log_.clear();
+  uint64_t now = clock_->NowMicros();
+  last_stamp_activity_ = now;
+  last_witness_time_ = now;
+  witness_seq_ = 0;
+  return Status::OK();
+}
+
+Status ComplianceLogger::AttachToEpoch(uint64_t epoch,
+                                       const Snapshot* snapshot) {
+  if (!options_.enabled) return Status::OK();
+  log_ = std::make_unique<ComplianceLog>(worm_, epoch);
+  CDB_RETURN_IF_ERROR(log_->OpenExisting());
+
+  // Rebuild the diff baseline as replay(snapshot, L): this is the page
+  // content the log already accounts for, which after crash recovery can
+  // be ahead of the on-disk images (logged splits whose pages never
+  // flushed) — diffing against disk would emit unjustified UNDOs.
+  std::string log_blob;
+  CDB_RETURN_IF_ERROR(worm_->ReadAll(LogFileName(epoch), &log_blob));
+  LogSummary summary;
+  CDB_RETURN_IF_ERROR(SummarizeLogBlob(log_blob, &summary));
+  PageReplayer replayer(PageReplayer::Options{}, &summary);
+  if (snapshot != nullptr) {
+    for (const auto& page : snapshot->pages) {
+      replayer.SeedPage(page.tree_id, page.pgno, page.records);
+    }
+    for (const auto& page : snapshot->index_pages) {
+      replayer.SeedIndexPage(page.tree_id, page.pgno, page.records);
+    }
+  }
+  CDB_RETURN_IF_ERROR(
+      ScanCRecords(log_blob, [&](const CRecord& rec, uint64_t offset) {
+        return replayer.Apply(rec, offset);
+      }));
+
+  baseline_.clear();
+  index_baseline_.clear();
+  unsynced_.clear();
+  evict_queue_.clear();
+  for (const auto& [key, state] : replayer.pages()) {
+    baseline_[key.second] = state;
+    NoteCached(key.second, /*is_index=*/false, /*disk_synced=*/false);
+  }
+  for (const auto& [key, state] : replayer.index_pages()) {
+    index_baseline_[key.second] = state;
+    NoteCached(key.second, /*is_index=*/true, /*disk_synced=*/false);
+  }
+  stamps_on_log_ = summary.stamps;
+  aborts_on_log_ = summary.aborts;
+  uint64_t now = clock_->NowMicros();
+  last_stamp_activity_ = now;
+  last_witness_time_ = now;
+  witness_seq_ = worm_->ListPrefix("witness_").size();
+  return Status::OK();
+}
+
+ComplianceLogger::PageState ComplianceLogger::StateFromImage(
+    const Page& image) {
+  PageState state;
+  for (uint16_t i = 0; i < image.slot_count(); ++i) {
+    Slice rec = image.RecordAt(i);
+    TupleData t;
+    if (DecodeTuple(rec, &t).ok()) {
+      state[t.order_no] = std::string(rec.data(), rec.size());
+    }
+  }
+  return state;
+}
+
+Result<ComplianceLogger::PageState> ComplianceLogger::BaselineFor(
+    PageId pgno) {
+  if (options_.cache_page_images) {
+    auto it = baseline_.find(pgno);
+    if (it != baseline_.end()) return it->second;
+  }
+  // Fallback: fetch the old image from the storage server — the extra I/O
+  // the paper's page cache exists to avoid (§IV-A).
+  if (pgno >= disk_->PageCount()) return PageState{};
+  Page old;
+  CDB_RETURN_IF_ERROR(disk_->ReadPage(pgno, &old));
+  if (!old.IsFormatted() || old.type() != PageType::kBtreeLeaf) {
+    return PageState{};
+  }
+  return StateFromImage(old);
+}
+
+ComplianceLogger::IndexState ComplianceLogger::IndexStateFromImage(
+    const Page& image) {
+  IndexState state;
+  for (uint16_t i = 0; i < image.slot_count(); ++i) {
+    Slice rec = image.RecordAt(i);
+    auto key = PageReplayer::IndexEntrySortKey(rec);
+    if (key.ok()) state[key.value()] = std::string(rec.data(), rec.size());
+  }
+  return state;
+}
+
+Result<ComplianceLogger::IndexState> ComplianceLogger::IndexBaselineFor(
+    PageId pgno) {
+  if (options_.cache_page_images) {
+    auto it = index_baseline_.find(pgno);
+    if (it != index_baseline_.end()) return it->second;
+  }
+  if (pgno >= disk_->PageCount()) return IndexState{};
+  Page old;
+  CDB_RETURN_IF_ERROR(disk_->ReadPage(pgno, &old));
+  if (!old.IsFormatted() || old.type() != PageType::kBtreeInternal) {
+    return IndexState{};
+  }
+  return IndexStateFromImage(old);
+}
+
+Status ComplianceLogger::EmitIndexDiff(uint32_t tree_id, PageId pgno,
+                                       const IndexState& old_state,
+                                       const IndexState& new_state) {
+  for (const auto& [sort_key, entry] : new_state) {
+    auto it = old_state.find(sort_key);
+    if (it != old_state.end() && it->second == entry) continue;
+    if (it != old_state.end()) {
+      CRecord gone;
+      gone.type = CRecordType::kIndexRemove;
+      gone.tree_id = tree_id;
+      gone.pgno = pgno;
+      gone.tuple = it->second;
+      CDB_RETURN_IF_ERROR(Append(gone));
+    }
+    CRecord rec;
+    rec.type = CRecordType::kIndexAdd;
+    rec.tree_id = tree_id;
+    rec.pgno = pgno;
+    rec.tuple = entry;
+    rec.timestamp = clock_->NowMicros();
+    CDB_RETURN_IF_ERROR(Append(rec));
+  }
+  for (const auto& [sort_key, entry] : old_state) {
+    if (new_state.count(sort_key) > 0) continue;
+    CRecord rec;
+    rec.type = CRecordType::kIndexRemove;
+    rec.tree_id = tree_id;
+    rec.pgno = pgno;
+    rec.tuple = entry;
+    rec.timestamp = clock_->NowMicros();
+    CDB_RETURN_IF_ERROR(Append(rec));
+  }
+  return Status::OK();
+}
+
+void ComplianceLogger::NoteCached(PageId pgno, bool is_index,
+                                  bool disk_synced) {
+  if (options_.max_cached_pages == 0) return;  // unbounded: no bookkeeping
+  if (disk_synced) {
+    unsynced_.erase(pgno);
+    evict_queue_.emplace_back(pgno, is_index);
+  } else {
+    unsynced_.insert(pgno);
+  }
+  size_t scanned = 0;
+  size_t limit = evict_queue_.size();
+  while (baseline_.size() + index_baseline_.size() >
+             options_.max_cached_pages &&
+         scanned++ < limit && !evict_queue_.empty()) {
+    auto [victim, victim_is_index] = evict_queue_.front();
+    evict_queue_.pop_front();
+    if (victim == pgno || unsynced_.count(victim) > 0) {
+      evict_queue_.emplace_back(victim, victim_is_index);
+      continue;
+    }
+    if (victim_is_index) {
+      index_baseline_.erase(victim);
+    } else {
+      baseline_.erase(victim);
+    }
+  }
+}
+
+// Records are appended unflushed; every public hook flushes before it
+// returns, so the "on WORM before the operation proceeds" contract holds
+// at one syscall per hook instead of one per record.
+Status ComplianceLogger::Append(const CRecord& rec) {
+  return log_->AppendUnflushed(rec);
+}
+
+Status ComplianceLogger::EmitDiff(uint32_t tree_id, PageId pgno,
+                                  const PageState& old_state,
+                                  const PageState& new_state) {
+  for (const auto& [order_no, rec_bytes] : new_state) {
+    auto old_it = old_state.find(order_no);
+    if (old_it == old_state.end()) {
+      CRecord rec;
+      rec.type = CRecordType::kNewTuple;
+      rec.tree_id = tree_id;
+      rec.pgno = pgno;
+      rec.tuple = rec_bytes;
+      rec.timestamp = clock_->NowMicros();
+      CDB_RETURN_IF_ERROR(Append(rec));
+      ++stats_.new_tuples;
+      continue;
+    }
+    if (old_it->second == rec_bytes) continue;
+
+    TupleData before, after;
+    Status sb = DecodeTuple(old_it->second, &before);
+    Status sa = DecodeTuple(rec_bytes, &after);
+    bool is_stamp = sb.ok() && sa.ok() && !before.stamped && after.stamped &&
+                    before.key == after.key && before.value == after.value &&
+                    before.eol == after.eol;
+    if (is_stamp) {
+      CRecord rec;
+      rec.type = CRecordType::kStampPage;
+      rec.tree_id = tree_id;
+      rec.pgno = pgno;
+      rec.order_no = order_no;
+      rec.txn_id = before.start;
+      rec.commit_time = after.start;
+      CDB_RETURN_IF_ERROR(Append(rec));
+      ++stats_.stamps;
+    } else {
+      // An in-place content change is never a legitimate operation; log it
+      // faithfully as remove+insert — the audit will flag the UNDO.
+      CRecord undo;
+      undo.type = CRecordType::kUndo;
+      undo.tree_id = tree_id;
+      undo.pgno = pgno;
+      undo.tuple = old_it->second;
+      CDB_RETURN_IF_ERROR(Append(undo));
+      ++stats_.undos;
+      CRecord fresh;
+      fresh.type = CRecordType::kNewTuple;
+      fresh.tree_id = tree_id;
+      fresh.pgno = pgno;
+      fresh.tuple = rec_bytes;
+      CDB_RETURN_IF_ERROR(Append(fresh));
+      ++stats_.new_tuples;
+    }
+  }
+  for (const auto& [order_no, rec_bytes] : old_state) {
+    if (new_state.count(order_no) > 0) continue;
+    CRecord rec;
+    rec.type = CRecordType::kUndo;
+    rec.tree_id = tree_id;
+    rec.pgno = pgno;
+    rec.tuple = rec_bytes;
+    rec.timestamp = clock_->NowMicros();
+    CDB_RETURN_IF_ERROR(Append(rec));
+    ++stats_.undos;
+  }
+  return Status::OK();
+}
+
+Status ComplianceLogger::OnPageRead(PageId pgno, const Page& image) {
+  if (!options_.enabled) return Status::OK();
+  if (!image.IsFormatted()) return Status::OK();
+  if (image.type() == PageType::kBtreeInternal) {
+    IndexState state = IndexStateFromImage(image);
+    if (options_.hash_on_read && !in_recovery_) {
+      CRecord rec;
+      rec.type = CRecordType::kReadHashIndex;
+      rec.tree_id = image.tree_id();
+      rec.pgno = pgno;
+      Sha256Digest hs = PageReplayer::HashIndexState(state);
+      rec.hash.assign(reinterpret_cast<const char*>(hs.data()), hs.size());
+      rec.timestamp = clock_->NowMicros();
+      CDB_RETURN_IF_ERROR(Append(rec));
+      ++stats_.read_hashes;
+    }
+    if (options_.cache_page_images && index_baseline_.count(pgno) == 0) {
+      index_baseline_[pgno] = std::move(state);
+      NoteCached(pgno, /*is_index=*/true, /*disk_synced=*/true);
+    }
+    return log_ != nullptr ? log_->Flush() : Status::OK();
+  }
+  if (image.type() != PageType::kBtreeLeaf) {
+    return Status::OK();
+  }
+  PageState state = StateFromImage(image);
+  // Reads during crash recovery are internal: redo may not have brought
+  // the page forward yet, and no transaction consumes the bytes. Only
+  // post-recovery (user) reads are hash-logged (§V).
+  if (options_.hash_on_read && !in_recovery_) {
+    CRecord rec;
+    rec.type = CRecordType::kReadHash;
+    rec.tree_id = image.tree_id();
+    rec.pgno = pgno;
+    Sha256Digest hs = PageReplayer::HashPageState(state);
+    rec.hash.assign(reinterpret_cast<const char*>(hs.data()), hs.size());
+    rec.timestamp = clock_->NowMicros();
+    CDB_RETURN_IF_ERROR(Append(rec));
+    ++stats_.read_hashes;
+  }
+  // Seed the baseline only if this page is unknown: after a crash the
+  // L-derived baseline can be *ahead* of the on-disk image (a logged split
+  // whose pages never flushed), and must not be clobbered by stale disk
+  // content — recovery redo brings the page forward before its next write.
+  if (options_.cache_page_images && baseline_.count(pgno) == 0) {
+    baseline_[pgno] = std::move(state);
+    NoteCached(pgno, /*is_index=*/false, /*disk_synced=*/true);
+  }
+  return log_ != nullptr ? log_->Flush() : Status::OK();
+}
+
+Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
+  if (!options_.enabled) return Status::OK();
+  if (!image.IsFormatted()) return Status::OK();
+  if (image.type() == PageType::kBtreeInternal) {
+    Result<IndexState> old_state = IndexBaselineFor(pgno);
+    if (!old_state.ok()) return old_state.status();
+    IndexState new_state = IndexStateFromImage(image);
+    CDB_RETURN_IF_ERROR(
+        EmitIndexDiff(image.tree_id(), pgno, old_state.value(), new_state));
+    if (options_.cache_page_images) {
+      index_baseline_[pgno] = std::move(new_state);
+      NoteCached(pgno, /*is_index=*/true, /*disk_synced=*/true);
+    }
+    return log_->Flush();
+  }
+  if (image.type() != PageType::kBtreeLeaf) {
+    return Status::OK();
+  }
+  Result<PageState> old_state = BaselineFor(pgno);
+  if (!old_state.ok()) return old_state.status();
+  PageState new_state = StateFromImage(image);
+  CDB_RETURN_IF_ERROR(
+      EmitDiff(image.tree_id(), pgno, old_state.value(), new_state));
+  if (options_.cache_page_images) {
+    baseline_[pgno] = std::move(new_state);
+    NoteCached(pgno, /*is_index=*/false, /*disk_synced=*/true);
+  }
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnPageSplit(uint32_t tree_id, uint8_t level,
+                                     PageId old_pgno, PageId new_pgno,
+                                     const Page& pre_old, const Page& post_old,
+                                     const Page& post_new) {
+  if (!options_.enabled) return Status::OK();
+  if (level > 0) return Status::OK();  // index pages: verified at audit
+
+  // Flush not-yet-logged tuples of the pre-split page first, so the split
+  // record's union check balances.
+  Result<PageState> base = BaselineFor(old_pgno);
+  if (!base.ok()) return base.status();
+  PageState pre_state = StateFromImage(pre_old);
+  CDB_RETURN_IF_ERROR(EmitDiff(tree_id, old_pgno, base.value(), pre_state));
+
+  CRecord rec;
+  rec.type = CRecordType::kPageSplit;
+  rec.tree_id = tree_id;
+  rec.pgno = old_pgno;
+  rec.new_pgno = new_pgno;
+  rec.entries_a = post_old.AllRecords();
+  rec.entries_b = post_new.AllRecords();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  ++stats_.splits;
+
+  if (options_.cache_page_images) {
+    baseline_[old_pgno] = StateFromImage(post_old);
+    NoteCached(old_pgno, /*is_index=*/false, /*disk_synced=*/false);
+    baseline_[new_pgno] = StateFromImage(post_new);
+    NoteCached(new_pgno, /*is_index=*/false, /*disk_synced=*/false);
+  } else {
+    baseline_.erase(old_pgno);
+    baseline_.erase(new_pgno);
+  }
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnRootGrow(uint32_t tree_id, PageId root_pgno,
+                                    PageId left_pgno, PageId right_pgno,
+                                    const Page& pre_root,
+                                    const Page& post_root,
+                                    const Page& post_left,
+                                    const Page& post_right) {
+  (void)post_root;
+  if (!options_.enabled) return Status::OK();
+  if (pre_root.type() != PageType::kBtreeLeaf) return Status::OK();
+
+  Result<PageState> base = BaselineFor(root_pgno);
+  if (!base.ok()) return base.status();
+  PageState pre_state = StateFromImage(pre_root);
+  CDB_RETURN_IF_ERROR(EmitDiff(tree_id, root_pgno, base.value(), pre_state));
+
+  CRecord rec;
+  rec.type = CRecordType::kRootGrow;
+  rec.tree_id = tree_id;
+  rec.pgno = root_pgno;
+  rec.new_pgno = left_pgno;
+  rec.third_pgno = right_pgno;
+  rec.entries_a = post_left.AllRecords();
+  rec.entries_b = post_right.AllRecords();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  ++stats_.splits;
+
+  baseline_.erase(root_pgno);
+  index_baseline_.erase(root_pgno);
+  unsynced_.erase(root_pgno);
+  if (options_.cache_page_images) {
+    baseline_[left_pgno] = StateFromImage(post_left);
+    NoteCached(left_pgno, /*is_index=*/false, /*disk_synced=*/false);
+    baseline_[right_pgno] = StateFromImage(post_right);
+    NoteCached(right_pgno, /*is_index=*/false, /*disk_synced=*/false);
+  }
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnMigrate(uint32_t tree_id, PageId live_pgno,
+                                   const Page& pre_live, const Page& post_live,
+                                   const std::string& hist_name,
+                                   const Page& hist_image) {
+  if (!options_.enabled) return Status::OK();
+
+  Result<PageState> base = BaselineFor(live_pgno);
+  if (!base.ok()) return base.status();
+  PageState pre_state = StateFromImage(pre_live);
+  CDB_RETURN_IF_ERROR(EmitDiff(tree_id, live_pgno, base.value(), pre_state));
+
+  CRecord rec;
+  rec.type = CRecordType::kMigrate;
+  rec.tree_id = tree_id;
+  rec.pgno = live_pgno;
+  rec.name = hist_name;
+  rec.entries_a = hist_image.AllRecords();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  ++stats_.migrations;
+
+  if (options_.cache_page_images) {
+    baseline_[live_pgno] = StateFromImage(post_live);
+    NoteCached(live_pgno, /*is_index=*/false, /*disk_synced=*/false);
+  } else {
+    baseline_.erase(live_pgno);
+  }
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnCommit(TxnId txn_id, uint64_t commit_time) {
+  if (!options_.enabled) return Status::OK();
+  auto it = stamps_on_log_.find(txn_id);
+  if (it != stamps_on_log_.end() && it->second == commit_time) {
+    return Status::OK();  // already announced (recovery re-walks the WAL)
+  }
+  stamps_on_log_[txn_id] = commit_time;
+  CRecord rec;
+  rec.type = CRecordType::kStampTrans;
+  rec.txn_id = txn_id;
+  rec.commit_time = commit_time;
+  rec.timestamp = clock_->NowMicros();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  last_stamp_activity_ = clock_->NowMicros();
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnAbort(TxnId txn_id) {
+  if (!options_.enabled) return Status::OK();
+  if (!aborts_on_log_.insert(txn_id).second) {
+    return Status::OK();  // already announced
+  }
+  CRecord rec;
+  rec.type = CRecordType::kAbort;
+  rec.txn_id = txn_id;
+  rec.timestamp = clock_->NowMicros();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnStartRecovery() {
+  if (!options_.enabled) return Status::OK();
+  CRecord rec;
+  rec.type = CRecordType::kStartRecovery;
+  rec.timestamp = clock_->NowMicros();
+  in_recovery_ = true;
+  CDB_RETURN_IF_ERROR(Append(rec));
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnRecoveryComplete() {
+  if (!options_.enabled) return Status::OK();
+  in_recovery_ = false;
+  // Recovery completion shows liveness again.
+  last_stamp_activity_ = clock_->NowMicros();
+  return Status::OK();
+}
+
+Status ComplianceLogger::OnNewTree(uint32_t tree_id, PageId root,
+                                   const std::string& name) {
+  if (!options_.enabled) return Status::OK();
+  CRecord rec;
+  rec.type = CRecordType::kNewTree;
+  rec.tree_id = tree_id;
+  rec.pgno = root;
+  rec.key = name;
+  rec.timestamp = clock_->NowMicros();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  baseline_[root] = PageState{};
+  NoteCached(root, /*is_index=*/false, /*disk_synced=*/false);
+  return log_->Flush();
+}
+
+Status ComplianceLogger::OnShredIntent(uint32_t tree_id, Slice key,
+                                       uint64_t start, PageId pgno,
+                                       Slice content_hash, uint64_t timestamp,
+                                       const std::string& hist_name) {
+  if (!options_.enabled) return Status::OK();
+  CRecord rec;
+  rec.type = CRecordType::kShredded;
+  rec.tree_id = tree_id;
+  rec.key = key.ToString();
+  rec.start = start;
+  rec.pgno = pgno;
+  rec.name = hist_name;
+  rec.hash = content_hash.ToString();
+  rec.timestamp = timestamp;
+  CDB_RETURN_IF_ERROR(Append(rec));
+  return log_->Flush();
+}
+
+Status ComplianceLogger::Tick(uint64_t now) {
+  if (!options_.enabled) return Status::OK();
+  if (now - last_stamp_activity_ >= options_.regret_interval_micros) {
+    CRecord rec;
+    rec.type = CRecordType::kHeartbeat;
+    rec.timestamp = now;
+    CDB_RETURN_IF_ERROR(Append(rec));
+    ++stats_.heartbeats;
+    last_stamp_activity_ = now;
+  }
+  if (now - last_witness_time_ >= options_.regret_interval_micros) {
+    std::string name = WitnessFileName(epoch(), witness_seq_++);
+    CDB_RETURN_IF_ERROR(worm_->Create(name, 0));
+    ++stats_.witness_files;
+    last_witness_time_ = now;
+  }
+  return log_->Flush();
+}
+
+}  // namespace complydb

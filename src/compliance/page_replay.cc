@@ -1,0 +1,432 @@
+#include "compliance/page_replay.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "btree/tuple.h"
+#include "common/coding.h"
+#include "compliance/snapshot.h"
+#include "crypto/seq_hash.h"
+
+namespace complydb {
+
+namespace {
+
+Status ApplySummaryRecord(const CRecord& rec, LogSummary* out) {
+    switch (rec.type) {
+      case CRecordType::kStampTrans: {
+        auto it = out->stamps.find(rec.txn_id);
+        if (it != out->stamps.end()) {
+          // Identical duplicates happen legitimately after crash recovery;
+          // *different* commit times for one txn indicate tampering.
+          if (it->second != rec.commit_time) {
+            out->problems.push_back(
+                "two different STAMP_TRANS for txn " +
+                std::to_string(rec.txn_id));
+          }
+        } else {
+          out->stamps[rec.txn_id] = rec.commit_time;
+        }
+        if (out->aborts.count(rec.txn_id) > 0) {
+          out->problems.push_back("txn " + std::to_string(rec.txn_id) +
+                                  " has both STAMP_TRANS and ABORT");
+        }
+        out->last_commit_time =
+            std::max(out->last_commit_time, rec.commit_time);
+        break;
+      }
+      case CRecordType::kAbort: {
+        out->aborts.insert(rec.txn_id);
+        if (out->stamps.count(rec.txn_id) > 0) {
+          out->problems.push_back("txn " + std::to_string(rec.txn_id) +
+                                  " has both STAMP_TRANS and ABORT");
+        }
+        break;
+      }
+      case CRecordType::kShredded: {
+        ShredRecord shred;
+        shred.tree_id = rec.tree_id;
+        shred.key = rec.key;
+        shred.start = rec.start;
+        shred.pgno = rec.pgno;
+        shred.timestamp = rec.timestamp;
+        shred.content_hash = rec.hash;
+        shred.hist_name = rec.name;
+        out->shreds.push_back(std::move(shred));
+        break;
+      }
+      default:
+        break;
+    }
+    return Status::OK();
+}
+
+}  // namespace
+
+Status SummarizeLog(const ComplianceLog& log, LogSummary* out) {
+  return log.Scan([&](const CRecord& rec, uint64_t) -> Status {
+    return ApplySummaryRecord(rec, out);
+  });
+}
+
+Status SummarizeLogBlob(Slice blob, LogSummary* out) {
+  return ScanCRecords(blob, [&](const CRecord& rec, uint64_t) -> Status {
+    return ApplySummaryRecord(rec, out);
+  });
+}
+
+void PageReplayer::Problem(const std::string& what) {
+  if (opts_.verify) problems_.push_back(what);
+}
+
+void PageReplayer::SeedPage(uint32_t tree_id, PageId pgno,
+                            const std::vector<std::string>& records) {
+  PageState& state = pages_[{tree_id, pgno}];
+  state.clear();
+  for (const auto& r : records) {
+    TupleData t;
+    if (DecodeTuple(r, &t).ok()) state[t.order_no] = r;
+  }
+}
+
+void PageReplayer::SeedEmptyPage(uint32_t tree_id, PageId pgno) {
+  pages_[{tree_id, pgno}];
+}
+
+void PageReplayer::SeedIndexPage(uint32_t tree_id, PageId pgno,
+                                 const std::vector<std::string>& entries) {
+  IndexState& state = index_pages_[{tree_id, pgno}];
+  state.clear();
+  for (const auto& e : entries) {
+    auto key = IndexEntrySortKey(e);
+    if (key.ok()) state[key.value()] = e;
+  }
+}
+
+Result<std::string> PageReplayer::IndexEntrySortKey(Slice entry) {
+  Slice key;
+  uint64_t start = 0;
+  PageId child = kInvalidPage;
+  CDB_RETURN_IF_ERROR(DecodeIndexEntryKey(entry, &key, &start, &child));
+  std::string sort_key(key.data(), key.size());
+  PutBigEndian64(&sort_key, start);
+  return sort_key;
+}
+
+Sha256Digest PageReplayer::HashIndexState(const IndexState& state) {
+  std::vector<Slice> elems;
+  elems.reserve(state.size());
+  for (const auto& [sort_key, entry] : state) elems.emplace_back(entry);
+  return SeqHash::Compute(elems);
+}
+
+Status PageReplayer::Finalize() {
+  if (!opts_.verify || pending_move_checks_.empty() || summary_ == nullptr) {
+    return Status::OK();
+  }
+  std::set<std::string> present;
+  for (const auto& [key, state] : pages_) {
+    for (const auto& [order_no, rec] : state) {
+      auto id = TupleIdentity(key.first, rec, summary_->stamps);
+      if (id.ok()) present.insert(id.value());
+    }
+  }
+  for (const auto& [identity, offset] : pending_move_checks_) {
+    if (present.count(identity) == 0) {
+      Problem("offset " + std::to_string(offset) +
+              ": UNDO of stamped tuple without SHREDDED justification, and "
+              "the tuple is gone from the final state");
+    }
+  }
+  return Status::OK();
+}
+
+Sha256Digest PageReplayer::HashPageState(const PageState& state) {
+  std::vector<Slice> elems;
+  elems.reserve(state.size());
+  for (const auto& [order_no, rec] : state) elems.emplace_back(rec);
+  return SeqHash::Compute(elems);
+}
+
+Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
+  auto list_to_state = [](const std::vector<std::string>& entries,
+                          PageState* state) {
+    state->clear();
+    for (const auto& r : entries) {
+      TupleData t;
+      if (DecodeTuple(r, &t).ok()) (*state)[t.order_no] = r;
+    }
+  };
+
+  switch (rec.type) {
+    case CRecordType::kNewTree: {
+      tree_roots_[rec.tree_id] = rec.pgno;
+      SeedEmptyPage(rec.tree_id, rec.pgno);
+      break;
+    }
+    case CRecordType::kNewTuple: {
+      TupleData t;
+      Status s = DecodeTuple(rec.tuple, &t);
+      if (!s.ok()) {
+        Problem("offset " + std::to_string(offset) +
+                ": undecodable NEW_TUPLE");
+        break;
+      }
+      PageState& state = pages_[{rec.tree_id, rec.pgno}];
+      auto it = state.find(t.order_no);
+      if (it != state.end()) {
+        if (it->second != rec.tuple) {
+          TupleData prev;
+          std::string detail;
+          if (DecodeTuple(it->second, &prev).ok()) {
+            detail = " (held: key '" + prev.key + "' start " +
+                     std::to_string(prev.start) +
+                     (prev.stamped ? " stamped" : " unstamped") +
+                     "; incoming: key '" + t.key + "' start " +
+                     std::to_string(t.start) +
+                     (t.stamped ? " stamped" : " unstamped") + ")";
+          }
+          Problem("offset " + std::to_string(offset) +
+                  ": conflicting NEW_TUPLE for page " +
+                  std::to_string(rec.pgno) + " order " +
+                  std::to_string(t.order_no) + detail);
+        }
+        // Identical duplicate (recovery replays): counted once.
+        break;
+      }
+      state[t.order_no] = rec.tuple;
+      if (opts_.verify && summary_ != nullptr) {
+        auto id = TupleIdentity(rec.tree_id, rec.tuple, summary_->stamps);
+        if (id.ok()) identity_delta_.Add(id.value());
+        // Unresolvable = uncommitted/aborted: never part of Df.
+      }
+      break;
+    }
+    case CRecordType::kUndo: {
+      TupleData t;
+      Status s = DecodeTuple(rec.tuple, &t);
+      if (!s.ok()) {
+        Problem("offset " + std::to_string(offset) + ": undecodable UNDO");
+        break;
+      }
+      PageState& state = pages_[{rec.tree_id, rec.pgno}];
+      auto it = state.find(t.order_no);
+      if (it == state.end()) {
+        // Duplicate UNDO after crash recovery is benign (§V).
+        break;
+      }
+      if (opts_.verify && it->second != rec.tuple) {
+        Problem("offset " + std::to_string(offset) +
+                ": UNDO bytes disagree with replayed tuple (page " +
+                std::to_string(rec.pgno) + ")");
+      }
+      if (opts_.verify && summary_ != nullptr) {
+        auto id = TupleIdentity(rec.tree_id, rec.tuple, summary_->stamps);
+        if (id.ok()) identity_delta_.Remove(id.value());
+        // Justification (§VIII): an unstamped tuple may vanish only if
+        // its transaction aborted; a stamped tuple only if a SHREDDED
+        // record announced its vacuuming — or, after crash recovery, if
+        // the tuple merely moved pages (checked against the final state
+        // in Finalize()).
+        if (!t.stamped) {
+          if (summary_->aborts.count(t.start) == 0) {
+            Problem("offset " + std::to_string(offset) +
+                    ": UNDO of uncommitted tuple without ABORT (key '" +
+                    t.key + "')");
+          }
+        } else {
+          bool shredded = false;
+          for (const auto& shred : summary_->shreds) {
+            if (shred.tree_id == rec.tree_id && shred.key == t.key &&
+                shred.start == t.start) {
+              shredded = true;
+              break;
+            }
+          }
+          if (!shredded) {
+            if (id.ok()) {
+              pending_move_checks_.emplace_back(id.value(), offset);
+            } else {
+              Problem("offset " + std::to_string(offset) +
+                      ": UNDO of stamped tuple with unresolvable identity");
+            }
+          }
+        }
+      }
+      state.erase(it);
+      break;
+    }
+    case CRecordType::kStampPage: {
+      PageState& state = pages_[{rec.tree_id, rec.pgno}];
+      auto it = state.find(rec.order_no);
+      if (it == state.end()) {
+        Problem("offset " + std::to_string(offset) +
+                ": STAMP_PAGE for unknown tuple");
+        break;
+      }
+      TupleData t;
+      if (!DecodeTuple(it->second, &t).ok()) break;
+      if (opts_.verify && t.stamped) {
+        Problem("offset " + std::to_string(offset) +
+                ": STAMP_PAGE of already-stamped tuple");
+      }
+      if (opts_.verify && t.start != rec.txn_id) {
+        Problem("offset " + std::to_string(offset) +
+                ": STAMP_PAGE txn id mismatch");
+      }
+      if (opts_.verify && summary_ != nullptr) {
+        auto st = summary_->stamps.find(rec.txn_id);
+        if (st == summary_->stamps.end() || st->second != rec.commit_time) {
+          Problem("offset " + std::to_string(offset) +
+                  ": STAMP_PAGE not backed by STAMP_TRANS");
+        }
+      }
+      t.start = rec.commit_time;
+      t.stamped = true;
+      it->second = EncodeTuple(t);
+      break;
+    }
+    case CRecordType::kPageSplit: {
+      PageKey old_key{rec.tree_id, rec.pgno};
+      if (opts_.verify) {
+        // Union of the two post-split pages must equal the old page.
+        PageState expect = pages_[old_key];
+        PageState combined;
+        for (const auto& r : rec.entries_a) {
+          TupleData t;
+          if (DecodeTuple(r, &t).ok()) combined[t.order_no] = r;
+        }
+        for (const auto& r : rec.entries_b) {
+          TupleData t;
+          if (DecodeTuple(r, &t).ok()) combined[t.order_no] = r;
+        }
+        if (combined != expect) {
+          Problem("offset " + std::to_string(offset) +
+                  ": PAGE_SPLIT union mismatch for page " +
+                  std::to_string(rec.pgno));
+        }
+      }
+      list_to_state(rec.entries_a, &pages_[old_key]);
+      list_to_state(rec.entries_b, &pages_[{rec.tree_id, rec.new_pgno}]);
+      break;
+    }
+    case CRecordType::kRootGrow: {
+      PageKey root_key{rec.tree_id, rec.pgno};
+      if (opts_.verify) {
+        PageState expect = pages_[root_key];
+        PageState combined;
+        for (const auto& r : rec.entries_a) {
+          TupleData t;
+          if (DecodeTuple(r, &t).ok()) combined[t.order_no] = r;
+        }
+        for (const auto& r : rec.entries_b) {
+          TupleData t;
+          if (DecodeTuple(r, &t).ok()) combined[t.order_no] = r;
+        }
+        if (combined != expect) {
+          Problem("offset " + std::to_string(offset) +
+                  ": ROOT_GROW union mismatch for tree " +
+                  std::to_string(rec.tree_id));
+        }
+      }
+      pages_.erase(root_key);  // the root is an internal node now
+      list_to_state(rec.entries_a, &pages_[{rec.tree_id, rec.new_pgno}]);
+      list_to_state(rec.entries_b, &pages_[{rec.tree_id, rec.third_pgno}]);
+      break;
+    }
+    case CRecordType::kMigrate: {
+      PageState& state = pages_[{rec.tree_id, rec.pgno}];
+      for (const auto& r : rec.entries_a) {
+        TupleData t;
+        if (!DecodeTuple(r, &t).ok()) continue;
+        auto it = state.find(t.order_no);
+        if (it == state.end() || it->second != r) {
+          Problem("offset " + std::to_string(offset) +
+                  ": MIGRATE of tuple not on live page " +
+                  std::to_string(rec.pgno));
+          continue;
+        }
+        if (opts_.verify && summary_ != nullptr) {
+          auto id = TupleIdentity(rec.tree_id, r, summary_->stamps);
+          if (id.ok()) {
+            identity_delta_.Remove(id.value());
+            migrated_delta_.Add(id.value());
+          }
+        }
+        state.erase(it);
+      }
+      MigrationRecord m;
+      m.tree_id = rec.tree_id;
+      m.live_pgno = rec.pgno;
+      m.hist_name = rec.name;
+      m.entries = rec.entries_a;
+      migrations_.push_back(std::move(m));
+      break;
+    }
+    case CRecordType::kIndexAdd: {
+      auto key = IndexEntrySortKey(rec.tuple);
+      if (!key.ok()) {
+        Problem("offset " + std::to_string(offset) +
+                ": undecodable INDEX_ADD entry");
+        break;
+      }
+      IndexState& state = index_pages_[{rec.tree_id, rec.pgno}];
+      auto it = state.find(key.value());
+      if (it != state.end()) {
+        if (it->second != rec.tuple) {
+          Problem("offset " + std::to_string(offset) +
+                  ": conflicting INDEX_ADD for page " +
+                  std::to_string(rec.pgno));
+        }
+        break;  // identical duplicate (recovery replay)
+      }
+      state[key.value()] = rec.tuple;
+      break;
+    }
+    case CRecordType::kIndexRemove: {
+      auto key = IndexEntrySortKey(rec.tuple);
+      if (!key.ok()) {
+        Problem("offset " + std::to_string(offset) +
+                ": undecodable INDEX_REMOVE entry");
+        break;
+      }
+      IndexState& state = index_pages_[{rec.tree_id, rec.pgno}];
+      state.erase(key.value());  // duplicates benign
+      break;
+    }
+    case CRecordType::kReadHashIndex: {
+      if (!opts_.verify_read_hashes) break;
+      ++read_hashes_checked_;
+      const IndexState& state = index_pages_[{rec.tree_id, rec.pgno}];
+      Sha256Digest expect = HashIndexState(state);
+      if (rec.hash.size() != expect.size() ||
+          std::memcmp(rec.hash.data(), expect.data(), expect.size()) != 0) {
+        Problem("offset " + std::to_string(offset) +
+                ": READ hash mismatch on index page " +
+                std::to_string(rec.pgno) +
+                " — a query descended through tampered index content at "
+                "time " + std::to_string(rec.timestamp));
+      }
+      break;
+    }
+    case CRecordType::kReadHash: {
+      if (!opts_.verify_read_hashes) break;
+      ++read_hashes_checked_;
+      const PageState& state = pages_[{rec.tree_id, rec.pgno}];
+      Sha256Digest expect = HashPageState(state);
+      if (rec.hash.size() != expect.size() ||
+          std::memcmp(rec.hash.data(), expect.data(), expect.size()) != 0) {
+        Problem("offset " + std::to_string(offset) +
+                ": READ hash mismatch on page " + std::to_string(rec.pgno) +
+                " — a transaction read tampered content at time " +
+                std::to_string(rec.timestamp));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace complydb

@@ -1,0 +1,142 @@
+#ifndef COMPLYDB_COMPLIANCE_PAGE_REPLAY_H_
+#define COMPLYDB_COMPLIANCE_PAGE_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compliance/compliance_log.h"
+#include "compliance/records.h"
+#include "crypto/add_hash.h"
+#include "crypto/sha256.h"
+
+namespace complydb {
+
+/// One SHREDDED intent found in L.
+struct ShredRecord {
+  uint32_t tree_id = 0;
+  std::string key;
+  uint64_t start = 0;
+  PageId pgno = kInvalidPage;
+  uint64_t timestamp = 0;
+  std::string content_hash;
+  /// Non-empty for shreds of WORM-migrated tuples: the historical page
+  /// file slated for whole-file deletion after the audit.
+  std::string hist_name;
+};
+
+/// One migration record found in L.
+struct MigrationRecord {
+  uint32_t tree_id = 0;
+  PageId live_pgno = kInvalidPage;
+  std::string hist_name;
+  std::vector<std::string> entries;
+};
+
+/// Prepass summary of one epoch's L: transaction outcomes and shred
+/// intents, needed before replay because UNDO records may precede the
+/// ABORT/SHREDDED records that justify them (crash-recovery interleaving).
+struct LogSummary {
+  std::map<TxnId, uint64_t> stamps;  // txn id -> commit time
+  std::set<TxnId> aborts;
+  std::vector<ShredRecord> shreds;
+  std::vector<std::string> problems;  // conflicting stamps, abort+commit, ...
+  uint64_t last_commit_time = 0;
+};
+
+Status SummarizeLog(const ComplianceLog& log, LogSummary* out);
+/// Variant over an already-read log blob (avoids re-reading L).
+Status SummarizeLogBlob(Slice blob, LogSummary* out);
+
+/// Deterministic replay of L's page-level records, reconstructing the
+/// expected tuple content of every live leaf page.
+///
+/// Simplification over the paper's §V roll-back/roll-forward: because we
+/// keep the full record set per page (keyed by tuple order number, which
+/// is unique for a page's lifetime), an aborted tuple is simply present
+/// between its NEW_TUPLE and its UNDO — exactly mirroring the physical
+/// page — so READ hashes verify with no hash-chain rollback.
+class PageReplayer {
+ public:
+  struct Options {
+    /// Auditor mode: run cross-checks (split unions, UNDO justification,
+    /// READ-hash verification) and collect problems. The compliance
+    /// logger replays with verify=false just to rebuild its diff baseline.
+    bool verify = false;
+    bool verify_read_hashes = false;
+  };
+
+  using PageKey = std::pair<uint32_t, PageId>;  // (tree_id, pgno)
+  using PageState = std::map<uint16_t, std::string>;  // order_no -> record
+  /// Internal (index) page state: entry bytes keyed by their (key, start)
+  /// sort key — slot order on disk is sorted order, so Hs agrees.
+  using IndexState = std::map<std::string, std::string>;
+
+  PageReplayer(Options opts, const LogSummary* summary)
+      : opts_(opts), summary_(summary) {}
+
+  /// Seeds a page's state (from the previous snapshot).
+  void SeedPage(uint32_t tree_id, PageId pgno, const std::vector<std::string>& records);
+
+  /// Seeds an internal page's entry list (from the previous snapshot).
+  void SeedIndexPage(uint32_t tree_id, PageId pgno,
+                     const std::vector<std::string>& entries);
+
+  /// Registers a tree root whose page starts empty (kNewTree handles this
+  /// during replay; snapshots seed existing roots).
+  void SeedEmptyPage(uint32_t tree_id, PageId pgno);
+
+  Status Apply(const CRecord& rec, uint64_t offset);
+
+  /// Verify mode: run after the full scan. Resolves deferred UNDO
+  /// justifications — a stamped tuple's UNDO with no SHREDDED record is
+  /// legitimate only if the tuple still exists elsewhere in the final
+  /// state (a crash-reconciliation page move), never if it vanished.
+  Status Finalize();
+
+  /// Verify mode: net change to the live-tuple identity ADD_HASH implied
+  /// by this epoch's log (folding it into the previous snapshot's hash
+  /// yields the expected hash of the final database state).
+  const AddHash& identity_delta() const { return identity_delta_; }
+  /// Verify mode: identities migrated to WORM this epoch.
+  const AddHash& migrated_delta() const { return migrated_delta_; }
+
+  const std::map<PageKey, PageState>& pages() const { return pages_; }
+  const std::map<PageKey, IndexState>& index_pages() const {
+    return index_pages_;
+  }
+  const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  const std::map<uint32_t, PageId>& tree_roots() const { return tree_roots_; }
+  const std::vector<std::string>& problems() const { return problems_; }
+  uint64_t read_hashes_checked() const { return read_hashes_checked_; }
+
+  /// Hs over a page state in order-number order (the logger's READ hash).
+  static Sha256Digest HashPageState(const PageState& state);
+  /// Hs over an internal page's entries in sorted (slot) order.
+  static Sha256Digest HashIndexState(const IndexState& state);
+  /// Sort key of an internal entry: key bytes + big-endian start.
+  static Result<std::string> IndexEntrySortKey(Slice entry);
+
+ private:
+  void Problem(const std::string& what);
+
+  Options opts_;
+  const LogSummary* summary_;
+  std::map<PageKey, PageState> pages_;
+  std::map<PageKey, IndexState> index_pages_;
+  std::map<uint32_t, PageId> tree_roots_;
+  std::vector<MigrationRecord> migrations_;
+  std::vector<std::string> problems_;
+  uint64_t read_hashes_checked_ = 0;
+  AddHash identity_delta_;
+  AddHash migrated_delta_;
+  // (identity bytes, L offset) of stamped UNDOs awaiting the final-state
+  // presence check.
+  std::vector<std::pair<std::string, uint64_t>> pending_move_checks_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMPLIANCE_PAGE_REPLAY_H_

@@ -1,0 +1,144 @@
+#include "compliance/snapshot.h"
+
+#include "btree/tuple.h"
+#include "common/coding.h"
+#include "compliance/compliance_log.h"
+#include "crypto/hmac.h"
+
+namespace complydb {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x5C0DB5A9u;
+}
+
+Status Snapshot::WriteSigned(WormStore* worm, Slice auditor_key) const {
+  std::string body;
+  PutFixed32(&body, kSnapshotMagic);
+  PutFixed64(&body, epoch);
+  PutFixed64(&body, audit_time);
+
+  PutFixed32(&body, static_cast<uint32_t>(trees.size()));
+  for (const auto& t : trees) {
+    PutFixed32(&body, t.tree_id);
+    PutFixed32(&body, t.root);
+    PutLengthPrefixed(&body, t.name);
+  }
+
+  PutFixed32(&body, static_cast<uint32_t>(pages.size()));
+  for (const auto& p : pages) {
+    PutFixed32(&body, p.tree_id);
+    PutFixed32(&body, p.pgno);
+    PutFixed32(&body, static_cast<uint32_t>(p.records.size()));
+    for (const auto& r : p.records) PutLengthPrefixed(&body, r);
+  }
+  PutFixed32(&body, static_cast<uint32_t>(index_pages.size()));
+  for (const auto& p : index_pages) {
+    PutFixed32(&body, p.tree_id);
+    PutFixed32(&body, p.pgno);
+    PutFixed32(&body, static_cast<uint32_t>(p.records.size()));
+    for (const auto& r : p.records) PutLengthPrefixed(&body, r);
+  }
+
+  body += identity_hash.Serialize();
+  body += migrated_hash.Serialize();
+
+  Sha256Digest sig = HmacSha256(auditor_key, body);
+  body.append(reinterpret_cast<const char*>(sig.data()), sig.size());
+
+  return worm->CreateWithContent(SnapshotFileName(epoch), 0, body);
+}
+
+Result<Snapshot> Snapshot::ReadVerified(WormStore* worm, uint64_t epoch,
+                                        Slice auditor_key) {
+  std::string body;
+  CDB_RETURN_IF_ERROR(worm->ReadAll(SnapshotFileName(epoch), &body));
+  if (body.size() < 32) return Status::Corruption("snapshot too short");
+
+  Slice content(body.data(), body.size() - 32);
+  Sha256Digest expect = HmacSha256(auditor_key, content);
+  Sha256Digest stored;
+  std::memcpy(stored.data(), body.data() + body.size() - 32, 32);
+  if (!DigestEqual(expect, stored)) {
+    return Status::Tampered("snapshot signature verification failed");
+  }
+
+  Snapshot snap;
+  Decoder dec(content);
+  uint32_t magic = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&magic));
+  if (magic != kSnapshotMagic) return Status::Corruption("snapshot magic");
+  CDB_RETURN_IF_ERROR(dec.GetFixed64(&snap.epoch));
+  CDB_RETURN_IF_ERROR(dec.GetFixed64(&snap.audit_time));
+  if (snap.epoch != epoch) return Status::Corruption("snapshot epoch mismatch");
+
+  uint32_t tree_count = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&tree_count));
+  for (uint32_t i = 0; i < tree_count; ++i) {
+    TreeInfo t;
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&t.tree_id));
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&t.root));
+    CDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&t.name));
+    snap.trees.push_back(std::move(t));
+  }
+
+  uint32_t page_count = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&page_count));
+  for (uint32_t i = 0; i < page_count; ++i) {
+    PageEntry p;
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&p.tree_id));
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&p.pgno));
+    uint32_t record_count = 0;
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&record_count));
+    p.records.reserve(record_count);
+    for (uint32_t j = 0; j < record_count; ++j) {
+      std::string r;
+      CDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&r));
+      p.records.push_back(std::move(r));
+    }
+    snap.pages.push_back(std::move(p));
+  }
+  uint32_t index_page_count = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&index_page_count));
+  for (uint32_t i = 0; i < index_page_count; ++i) {
+    PageEntry p;
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&p.tree_id));
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&p.pgno));
+    uint32_t record_count = 0;
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&record_count));
+    p.records.reserve(record_count);
+    for (uint32_t j = 0; j < record_count; ++j) {
+      std::string r;
+      CDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&r));
+      p.records.push_back(std::move(r));
+    }
+    snap.index_pages.push_back(std::move(p));
+  }
+
+  std::string hash_bytes;
+  CDB_RETURN_IF_ERROR(dec.GetBytes(64, &hash_bytes));
+  auto ih = AddHash::Deserialize(hash_bytes);
+  if (!ih.ok()) return ih.status();
+  snap.identity_hash = ih.value();
+  CDB_RETURN_IF_ERROR(dec.GetBytes(64, &hash_bytes));
+  auto mh = AddHash::Deserialize(hash_bytes);
+  if (!mh.ok()) return mh.status();
+  snap.migrated_hash = mh.value();
+  return snap;
+}
+
+Result<std::string> TupleIdentity(uint32_t tree_id, Slice record,
+                                  const std::map<TxnId, uint64_t>& stamps) {
+  TupleData t;
+  CDB_RETURN_IF_ERROR(DecodeTuple(record, &t));
+  uint64_t commit = t.start;
+  if (!t.stamped) {
+    auto it = stamps.find(t.start);
+    if (it == stamps.end()) {
+      return Status::NotFound("tuple's transaction is not committed");
+    }
+    commit = it->second;
+  }
+  return t.IdentityBytes(tree_id, commit);
+}
+
+}  // namespace complydb

@@ -1,0 +1,68 @@
+#ifndef COMPLYDB_COMPLIANCE_SNAPSHOT_H_
+#define COMPLYDB_COMPLIANCE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/add_hash.h"
+#include "storage/page.h"
+#include "wal/log_record.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// The auditor's signed snapshot of the database state, written to WORM at
+/// the end of every audit (paper §IV): "the auditor places a complete
+/// snapshot of the current database state on WORM after every audit,
+/// together with the auditor's digital signature".
+///
+/// Contents: the catalog (tree ids, roots, names), every live leaf page's
+/// full record list, the running ADD_HASH of all live tuple identities,
+/// and the cumulative ADD_HASH of identities migrated to WORM (so
+/// identity-based completeness balances across epochs). Signed with
+/// HMAC-SHA256 under the auditor's key.
+struct Snapshot {
+  struct TreeInfo {
+    uint32_t tree_id = 0;
+    PageId root = kInvalidPage;
+    std::string name;
+  };
+  struct PageEntry {
+    uint32_t tree_id = 0;
+    PageId pgno = kInvalidPage;
+    std::vector<std::string> records;
+  };
+
+  uint64_t epoch = 0;
+  uint64_t audit_time = 0;
+  std::vector<TreeInfo> trees;
+  std::vector<PageEntry> pages;
+  /// Internal (index) pages: record lists of index entries, so the next
+  /// epoch's replay can verify index-page reads too (§V).
+  std::vector<PageEntry> index_pages;
+  AddHash identity_hash;
+  AddHash migrated_hash;
+
+  /// Serializes, signs, and writes to WORM as snapshot_<epoch>.
+  Status WriteSigned(WormStore* worm, Slice auditor_key) const;
+
+  /// Reads snapshot_<epoch>, verifying the signature. A bad signature is
+  /// Tampered (Mala cannot forge without the auditor's key).
+  static Result<Snapshot> ReadVerified(WormStore* worm, uint64_t epoch,
+                                       Slice auditor_key);
+};
+
+/// Identity bytes of a stored tuple record for the completeness hash:
+/// (tree_id, commit-time start, eol, key, value) — placement-independent.
+/// `stamps` resolves txn-id starts; unresolvable (uncommitted) tuples
+/// return NotFound and are excluded by callers.
+Result<std::string> TupleIdentity(uint32_t tree_id, Slice record,
+                                  const std::map<TxnId, uint64_t>& stamps);
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMPLIANCE_SNAPSHOT_H_

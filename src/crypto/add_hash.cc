@@ -1,0 +1,81 @@
+#include "crypto/add_hash.h"
+
+#include "common/coding.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace complydb {
+
+void AddHash::AddDigest(const std::array<uint8_t, 64>& digest, bool negate) {
+  // Interpret the digest as 8 little-endian 64-bit limbs and add (or
+  // subtract) into the accumulator with carry/borrow propagation; the
+  // modulus 2^512 makes wraparound free.
+  std::array<uint64_t, kLimbs> v{};
+  for (size_t i = 0; i < kLimbs; ++i) {
+    uint64_t limb = 0;
+    for (int j = 7; j >= 0; --j) limb = (limb << 8) | digest[8 * i + j];
+    v[i] = limb;
+  }
+  if (!negate) {
+    uint64_t carry = 0;
+    for (size_t i = 0; i < kLimbs; ++i) {
+      uint64_t sum = limbs_[i] + v[i];
+      uint64_t c1 = sum < limbs_[i] ? 1 : 0;
+      uint64_t sum2 = sum + carry;
+      uint64_t c2 = sum2 < sum ? 1 : 0;
+      limbs_[i] = sum2;
+      carry = c1 + c2;
+    }
+  } else {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < kLimbs; ++i) {
+      uint64_t sub = limbs_[i] - v[i];
+      uint64_t b1 = limbs_[i] < v[i] ? 1 : 0;
+      uint64_t sub2 = sub - borrow;
+      uint64_t b2 = sub < borrow ? 1 : 0;
+      limbs_[i] = sub2;
+      borrow = b1 + b2;
+    }
+  }
+}
+
+void AddHash::Add(Slice element) { AddDigest(Sha512::Hash(element), false); }
+
+void AddHash::Remove(Slice element) { AddDigest(Sha512::Hash(element), true); }
+
+void AddHash::Merge(const AddHash& other) {
+  uint64_t carry = 0;
+  for (size_t i = 0; i < kLimbs; ++i) {
+    uint64_t sum = limbs_[i] + other.limbs_[i];
+    uint64_t c1 = sum < limbs_[i] ? 1 : 0;
+    uint64_t sum2 = sum + carry;
+    uint64_t c2 = sum2 < sum ? 1 : 0;
+    limbs_[i] = sum2;
+    carry = c1 + c2;
+  }
+}
+
+std::string AddHash::Serialize() const {
+  std::string out;
+  out.reserve(64);
+  for (uint64_t limb : limbs_) PutFixed64(&out, limb);
+  return out;
+}
+
+Result<AddHash> AddHash::Deserialize(Slice data) {
+  if (data.size() != 64) {
+    return Status::Corruption("AddHash: expected 64 bytes");
+  }
+  AddHash h;
+  for (size_t i = 0; i < kLimbs; ++i) {
+    h.limbs_[i] = DecodeFixed64(data.data() + 8 * i);
+  }
+  return h;
+}
+
+std::string AddHash::ToHex() const {
+  std::string bytes = Serialize();
+  return complydb::ToHex(bytes);
+}
+
+}  // namespace complydb

@@ -1,0 +1,58 @@
+#ifndef COMPLYDB_CRYPTO_ADD_HASH_H_
+#define COMPLYDB_CRYPTO_ADD_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace complydb {
+
+/// Bellare–Micciancio incremental set hash (ADD_HASH, Eurocrypt '97):
+///
+///   ADD_HASH({a_1..a_n}) = sum_i SHA-512(a_i)   (mod 2^512)
+///
+/// Properties the audit algorithms rely on (paper §IV-A):
+///  - Incremental: elements can be folded in one at a time.
+///  - Commutative: independent of element order, so the auditor can hash
+///    D_s ∪ L and D_f in whatever order a single pass encounters tuples.
+///  - Pre-image resistant: equal hashes imply equal multisets (under the
+///    hardness assumption of the construction).
+///
+/// `Remove` subtracts an element's digest; the shredding auditor uses it
+/// to discount vacuumed tuples from a stored snapshot hash.
+class AddHash {
+ public:
+  static constexpr size_t kLimbs = 8;  // 8 × 64-bit = 512-bit accumulator
+
+  AddHash() { limbs_.fill(0); }
+
+  /// Folds one set element in.
+  void Add(Slice element);
+
+  /// Subtracts one set element (mod 2^512).
+  void Remove(Slice element);
+
+  /// Folds an entire other accumulator in (set union of disjoint multisets).
+  void Merge(const AddHash& other);
+
+  bool operator==(const AddHash& other) const { return limbs_ == other.limbs_; }
+  bool operator!=(const AddHash& other) const { return !(*this == other); }
+
+  /// 64-byte little-endian serialization.
+  std::string Serialize() const;
+  static Result<AddHash> Deserialize(Slice data);
+
+  std::string ToHex() const;
+
+ private:
+  void AddDigest(const std::array<uint8_t, 64>& digest, bool negate);
+
+  std::array<uint64_t, kLimbs> limbs_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_CRYPTO_ADD_HASH_H_

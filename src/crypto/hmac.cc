@@ -1,0 +1,42 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace complydb {
+
+Sha256Digest HmacSha256(Slice key, Slice message) {
+  constexpr size_t kBlock = 64;
+  uint8_t k[kBlock] = {0};
+  if (key.size() > kBlock) {
+    Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlock];
+  uint8_t opad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(Slice(reinterpret_cast<const char*>(ipad), kBlock));
+  inner.Update(message);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(Slice(reinterpret_cast<const char*>(opad), kBlock));
+  outer.Update(Slice(reinterpret_cast<const char*>(inner_digest.data()),
+                     inner_digest.size()));
+  return outer.Finish();
+}
+
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b) {
+  unsigned char acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace complydb

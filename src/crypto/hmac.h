@@ -1,0 +1,22 @@
+#ifndef COMPLYDB_CRYPTO_HMAC_H_
+#define COMPLYDB_CRYPTO_HMAC_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace complydb {
+
+/// HMAC-SHA256 (RFC 2104). Stands in for the auditor's "digital signature"
+/// over snapshots and stored hashes (paper §IV): the auditor holds a secret
+/// key; anyone holding the key can verify that a snapshot or hash manifest
+/// on WORM was produced by a legitimate audit and not forged by Mala.
+Sha256Digest HmacSha256(Slice key, Slice message);
+
+/// Constant-time digest comparison.
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_CRYPTO_HMAC_H_

@@ -1,0 +1,31 @@
+#include "crypto/seq_hash.h"
+
+namespace complydb {
+
+Sha256Digest SeqHash::Empty() {
+  Sha256Digest d{};
+  return d;
+}
+
+Sha256Digest SeqHash::Compute(const std::vector<Slice>& elements) {
+  // Right fold per the definition: start from Hs() = 0^32 and wrap from the
+  // last element backwards.
+  Sha256Digest acc = Empty();
+  for (size_t i = elements.size(); i-- > 0;) {
+    Sha256Digest inner = Sha256::Hash(elements[i]);
+    Sha256 outer;
+    outer.Update(Slice(reinterpret_cast<const char*>(inner.data()), inner.size()));
+    outer.Update(Slice(reinterpret_cast<const char*>(acc.data()), acc.size()));
+    acc = outer.Finish();
+  }
+  return acc;
+}
+
+Sha256Digest SeqHash::ComputeOwned(const std::vector<std::string>& elements) {
+  std::vector<Slice> slices;
+  slices.reserve(elements.size());
+  for (const auto& e : elements) slices.emplace_back(e);
+  return Compute(slices);
+}
+
+}  // namespace complydb

@@ -1,0 +1,46 @@
+#ifndef COMPLYDB_CRYPTO_SHA256_H_
+#define COMPLYDB_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace complydb {
+
+/// 32-byte digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch — the repo
+/// has no external crypto dependency. Used for tuple hashes, the
+/// sequential page hash Hs, and HMAC signatures.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(Slice data);
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(Slice data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_len_ = 0;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+};
+
+/// Lowercase hex encoding of arbitrary bytes.
+std::string ToHex(Slice data);
+
+/// Hex of a digest.
+std::string DigestHex(const Sha256Digest& d);
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_CRYPTO_SHA256_H_

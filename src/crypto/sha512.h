@@ -1,0 +1,37 @@
+#ifndef COMPLYDB_CRYPTO_SHA512_H_
+#define COMPLYDB_CRYPTO_SHA512_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace complydb {
+
+/// 64-byte digest.
+using Sha512Digest = std::array<uint8_t, 64>;
+
+/// SHA-512 (FIPS 180-4). The paper's ADD_HASH calls for a "big (512 bits
+/// or more) secure one-way hash"; this is the h() underlying AddHash.
+class Sha512 {
+ public:
+  Sha512() { Reset(); }
+
+  void Reset();
+  void Update(Slice data);
+  Sha512Digest Finish();
+
+  static Sha512Digest Hash(Slice data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint64_t, 8> state_;
+  uint64_t total_len_ = 0;  // bytes; fine below 2^61 bytes of input
+  std::array<uint8_t, 128> buffer_;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_CRYPTO_SHA512_H_

@@ -1,0 +1,783 @@
+#include "db/compliant_db.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "btree/integrity.h"
+#include "common/coding.h"
+
+namespace fs = std::filesystem;
+
+namespace complydb {
+
+namespace {
+constexpr char kExpiryTableName[] = "__expiry";
+constexpr char kHoldsTableName[] = "__holds";
+
+std::string CleanMarkerPath(const std::string& dir) {
+  return dir + "/CLEAN";
+}
+}  // namespace
+
+Result<CompliantDB*> CompliantDB::Open(const DbOptions& options) {
+  auto db = std::unique_ptr<CompliantDB>(new CompliantDB(options));
+  Status s = db->Init();
+  if (!s.ok()) return s;
+  return db.release();
+}
+
+CompliantDB::~CompliantDB() = default;
+
+Status CompliantDB::Init() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) return Status::IOError("create dir: " + ec.message());
+
+  if (options_.clock != nullptr) {
+    clock_ = options_.clock;
+  } else {
+    owned_clock_ = std::make_unique<SystemClock>();
+    clock_ = owned_clock_.get();
+  }
+
+  auto worm = WormStore::Open(options_.dir + "/worm", clock_);
+  if (!worm.ok()) return worm.status();
+  worm_.reset(worm.value());
+
+  auto disk = DiskManager::Open(db_path());
+  if (!disk.ok()) return disk.status();
+  disk_.reset(disk.value());
+  disk_->set_latency_micros(options_.io_latency_micros);
+
+  auto wal = LogManager::Open(wal_path());
+  if (!wal.ok()) return wal.status();
+  wal_.reset(wal.value());
+
+  cache_ = std::make_unique<BufferCache>(disk_.get(), options_.cache_pages);
+
+  bool fresh = disk_->PageCount() == 0;
+  bool crashed = !fresh && !fs::exists(CleanMarkerPath(options_.dir));
+  if (options_.read_only) {
+    if (fresh) return Status::InvalidArgument("read-only open of empty db");
+  } else {
+    fs::remove(CleanMarkerPath(options_.dir), ec);
+  }
+
+  if (fresh) {
+    // Meta page 0: the catalog. Written before any hook is attached.
+    Page* meta = nullptr;
+    Result<PageId> alloc = cache_->NewPage(&meta);
+    if (!alloc.ok()) return alloc.status();
+    if (alloc.value() != kMetaPage) return Status::Corruption("meta pgno");
+    meta->Format(kMetaPage, PageType::kMeta, 0, 0);
+    cache_->Unpin(kMetaPage, true);
+    CDB_RETURN_IF_ERROR(SaveCatalog());
+    CDB_RETURN_IF_ERROR(cache_->FlushAll());
+  }
+
+  // Compliance epoch discovery from WORM (the trustworthy namespace).
+  logger_ = std::make_unique<ComplianceLogger>(options_.compliance,
+                                               worm_.get(), disk_.get(),
+                                               clock_);
+  std::unique_ptr<Snapshot> snapshot;
+  if (options_.compliance.enabled) {
+    uint64_t max_epoch = 0;
+    bool found = false;
+    for (const auto& name : worm_->ListPrefix("L_")) {
+      uint64_t e = std::strtoull(name.c_str() + 2, nullptr, 10);
+      max_epoch = std::max(max_epoch, e);
+      found = true;
+    }
+    if (!found) {
+      epoch_ = 0;
+      CDB_RETURN_IF_ERROR(logger_->StartFreshEpoch(0));
+    } else {
+      epoch_ = max_epoch;
+      if (worm_->Exists(SnapshotFileName(epoch_))) {
+        auto snap = Snapshot::ReadVerified(worm_.get(), epoch_,
+                                           options_.auditor_key);
+        if (!snap.ok()) return snap.status();
+        snapshot = std::make_unique<Snapshot>(snap.TakeValue());
+        last_audit_time_ = snapshot->audit_time;
+      }
+      CDB_RETURN_IF_ERROR(logger_->AttachToEpoch(epoch_, snapshot.get()));
+    }
+  }
+
+  // Hook order: WAL rule first, then compliance (see WalFlushHook).
+  wal_hook_ = std::make_unique<WalFlushHook>(wal_.get());
+  if (!options_.read_only) {
+    cache_->AddHook(wal_hook_.get());
+    if (options_.compliance.enabled) cache_->AddHook(logger_.get());
+  }
+
+  txns_ = std::make_unique<TransactionManager>(
+      wal_.get(), clock_,
+      options_.compliance.enabled ? logger_.get() : nullptr);
+
+  hist_ = std::make_unique<HistoricalStore>(worm_.get());
+  CDB_RETURN_IF_ERROR(hist_->LoadAll());
+  // Historical files shredded this epoch (their WORM deletion waits for
+  // the next audit) must not resurface in the temporal index.
+  if (options_.compliance.enabled && logger_->log() != nullptr) {
+    CDB_RETURN_IF_ERROR(
+        logger_->log()->Scan([&](const CRecord& rec, uint64_t) -> Status {
+          if (rec.type == CRecordType::kShredded && !rec.name.empty()) {
+            Status s = hist_->DropFile(rec.name);
+            if (!s.ok() && !s.IsNotFound()) return s;
+          }
+          return Status::OK();
+        }));
+  }
+  if (options_.tsb_enabled) {
+    split_policy_ =
+        std::make_unique<TimeSplitPolicy>(options_.tsb_split_threshold);
+  }
+
+  // The catalog may be ahead on the WAL (a crash right after CreateTable):
+  // redo meta-page images first, so LoadCatalog registers every tree that
+  // full recovery will need for undo.
+  if (crashed && !options_.read_only) {
+    Page* meta = nullptr;
+    CDB_RETURN_IF_ERROR(cache_->FetchPage(kMetaPage, &meta));
+    PageGuard guard(cache_.get(), kMetaPage, meta);
+    CDB_RETURN_IF_ERROR(wal_->Scan([&](const WalRecord& rec) -> Status {
+      if (rec.type == WalRecordType::kPageImage && rec.pgno == kMetaPage &&
+          (!meta->IsFormatted() || meta->lsn() < rec.lsn)) {
+        std::memcpy(meta->data(), rec.page_image.data(), kPageSize);
+        meta->set_lsn(rec.lsn);
+        guard.MarkDirty();
+      }
+      return Status::OK();
+    }));
+  }
+  CDB_RETURN_IF_ERROR(LoadCatalog());
+
+  if (options_.read_only) {
+    // Inspection mode: rebuild the committed-transaction table from the
+    // WAL without applying anything.
+    CDB_RETURN_IF_ERROR(wal_->Scan([&](const WalRecord& rec) -> Status {
+      if (rec.txn_id != 0) txns_->BumpTick(rec.txn_id);
+      if (rec.type == WalRecordType::kCommit) {
+        txns_->RestoreCommittedTxn(rec.txn_id, rec.commit_time);
+      }
+      return Status::OK();
+    }));
+    recovered_from_crash_ = false;
+  } else {
+    // Crash recovery (a no-op analysis pass on clean opens, which also
+    // rebuilds the committed-transaction table for temporal reads).
+    RecoveryManager recovery(wal_.get(), cache_.get(), txns_.get(),
+                             options_.compliance.enabled ? logger_.get()
+                                                         : nullptr,
+                             last_audit_time_);
+    auto report = recovery.Run(crashed);
+    if (!report.ok()) return report.status();
+    recovery_report_ = report.value();
+    recovered_from_crash_ = crashed;
+  }
+  // The WAL is truncated at each audit, so it cannot witness pre-audit
+  // ticks; the signed audit time bounds them (no id/commit-time issued
+  // before an audit exceeds the last commit that audit covered).
+  txns_->BumpTick(last_audit_time_);
+
+  if (options_.compliance.enabled && crashed && !options_.read_only) {
+    // Finish any interrupted vacuuming (§VIII).
+    std::map<uint32_t, Btree*> trees;
+    for (auto& [id, info] : tables_) trees[id] = info.tree.get();
+    Vacuumer rechecker(
+        wal_.get(), logger_.get(),
+        [this] {
+          return std::max(clock_->NowMicros(),
+                          txns_->last_commit_time() + 1);
+        },
+        nullptr);
+    auto r = rechecker.Recheck(logger_->log(), trees);
+    if (!r.ok()) return r.status();
+  }
+
+  // The expiry relation is a regular audited table, created on first use.
+  auto expiry_it = table_ids_.find(kExpiryTableName);
+  if (expiry_it == table_ids_.end() && options_.read_only) {
+    expiry_tree_id_ = 0;
+  } else if (expiry_it == table_ids_.end()) {
+    auto created = CreateTable(kExpiryTableName);
+    if (!created.ok()) return created.status();
+    expiry_tree_id_ = created.value();
+  } else {
+    expiry_tree_id_ = expiry_it->second;
+  }
+  expiry_ = std::make_unique<ExpiryPolicy>(tree(expiry_tree_id_));
+
+  auto holds_it = table_ids_.find(kHoldsTableName);
+  if (holds_it == table_ids_.end() && options_.read_only) {
+    holds_tree_id_ = 0;
+  } else if (holds_it == table_ids_.end()) {
+    auto created = CreateTable(kHoldsTableName);
+    if (!created.ok()) return created.status();
+    holds_tree_id_ = created.value();
+  } else {
+    holds_tree_id_ = holds_it->second;
+  }
+  holds_ = std::make_unique<LitigationHolds>(tree(holds_tree_id_));
+
+  vacuumer_ = std::make_unique<Vacuumer>(
+      wal_.get(), options_.compliance.enabled ? logger_.get() : nullptr,
+      [this] {
+        return std::max(clock_->NowMicros(), txns_->last_commit_time() + 1);
+      },
+      expiry_.get(), holds_.get());
+
+  if (options_.verify_on_open) {
+    for (const auto& [id, info] : tables_) {
+      auto check = CheckTreeIntegrity(cache_.get(), id, info.root);
+      if (!check.ok()) return check.status();
+      if (!check.value().ok()) {
+        return Status::Tampered("tree '" + info.name +
+                                "' fails integrity at open: " +
+                                check.value().problems[0]);
+      }
+    }
+  }
+
+  last_regret_tick_ = clock_->NowMicros();
+  if (options_.compliance.enabled && !options_.read_only) {
+    // Tail names must not collide with tails from previous runs of this
+    // epoch (they are only deleted at audit).
+    for (const auto& name : worm_->ListPrefix("txtail_")) {
+      if (name.size() >= 24) {
+        uint64_t seq = std::strtoull(name.c_str() + 16, nullptr, 10);
+        txtail_seq_ = std::max(txtail_seq_, seq + 1);
+      }
+    }
+    CDB_RETURN_IF_ERROR(RotateTxTail());
+  }
+  return Status::OK();
+}
+
+Status CompliantDB::Close() {
+  if (closed_) return Status::OK();
+  if (options_.read_only) {
+    closed_ = true;  // nothing to flush; never fabricate a CLEAN marker
+    return Status::OK();
+  }
+  CDB_RETURN_IF_ERROR(txns_->StampPending(0));
+  CDB_RETURN_IF_ERROR(cache_->FlushAll());
+  CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  std::ofstream marker(CleanMarkerPath(options_.dir));
+  if (!marker.is_open()) return Status::IOError("clean marker");
+  marker << "clean\n";
+  marker.close();
+  closed_ = true;
+  return Status::OK();
+}
+
+// --- catalog ---------------------------------------------------------
+
+Status CompliantDB::LoadCatalog() {
+  Page* meta = nullptr;
+  CDB_RETURN_IF_ERROR(cache_->FetchPage(kMetaPage, &meta));
+  PageGuard guard(cache_.get(), kMetaPage, meta);
+  if (meta->type() != PageType::kMeta || meta->slot_count() == 0) {
+    return Status::OK();  // empty catalog
+  }
+  Slice rec = meta->RecordAt(0);
+  Decoder dec(Slice(rec.data() + 2, rec.size() - 2));  // skip len prefix
+  uint32_t count = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    TableInfo info;
+    CDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&info.name));
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&info.tree_id));
+    CDB_RETURN_IF_ERROR(dec.GetFixed32(&info.root));
+    BtreeEnv env;
+    env.cache = cache_.get();
+    env.wal = wal_.get();
+    env.observer = options_.compliance.enabled ? logger_.get() : nullptr;
+    env.split_policy = split_policy_.get();
+    env.migration = options_.tsb_enabled ? hist_.get() : nullptr;
+    info.tree = std::make_unique<Btree>(env, info.tree_id, info.root);
+    txns_->RegisterTree(info.tree_id, info.tree.get());
+    next_tree_id_ = std::max(next_tree_id_, info.tree_id + 1);
+    table_ids_[info.name] = info.tree_id;
+    tables_[info.tree_id] = std::move(info);
+  }
+  return Status::OK();
+}
+
+Status CompliantDB::SaveCatalog() {
+  std::string body;
+  PutFixed32(&body, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [id, info] : tables_) {
+    PutLengthPrefixed(&body, info.name);
+    PutFixed32(&body, info.tree_id);
+    PutFixed32(&body, info.root);
+  }
+  std::string record;
+  PutFixed16(&record, static_cast<uint16_t>(2 + body.size()));
+  record += body;
+
+  Page* meta = nullptr;
+  CDB_RETURN_IF_ERROR(cache_->FetchPage(kMetaPage, &meta));
+  PageGuard guard(cache_.get(), kMetaPage, meta);
+  if (meta->slot_count() > 0) CDB_RETURN_IF_ERROR(meta->EraseRecord(0));
+  CDB_RETURN_IF_ERROR(meta->InsertRecord(0, record));
+  // The catalog must survive a crash: log a redo image.
+  WalRecord wal_rec;
+  wal_rec.type = WalRecordType::kPageImage;
+  wal_rec.pgno = kMetaPage;
+  wal_rec.page_image.assign(meta->data(), kPageSize);
+  meta->set_lsn(wal_->Append(&wal_rec));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<uint32_t> CompliantDB::CreateTable(const std::string& name) {
+  if (options_.read_only) return Status::NotSupported("read-only open");
+  if (table_ids_.count(name) > 0) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  uint32_t tree_id = next_tree_id_++;
+  auto root = Btree::Create(cache_.get(), tree_id, wal_.get());
+  if (!root.ok()) return root.status();
+
+  if (options_.compliance.enabled) {
+    CDB_RETURN_IF_ERROR(logger_->OnNewTree(tree_id, root.value(), name));
+  }
+
+  TableInfo info;
+  info.tree_id = tree_id;
+  info.root = root.value();
+  info.name = name;
+  BtreeEnv env;
+  env.cache = cache_.get();
+  env.wal = wal_.get();
+  env.observer = options_.compliance.enabled ? logger_.get() : nullptr;
+  env.split_policy = split_policy_.get();
+  env.migration = options_.tsb_enabled ? hist_.get() : nullptr;
+  info.tree = std::make_unique<Btree>(env, tree_id, root.value());
+  txns_->RegisterTree(tree_id, info.tree.get());
+  table_ids_[name] = tree_id;
+  tables_[tree_id] = std::move(info);
+
+  CDB_RETURN_IF_ERROR(SaveCatalog());
+  CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  return tree_id;
+}
+
+Result<uint32_t> CompliantDB::GetTable(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end()) return Status::NotFound("no table: " + name);
+  return it->second;
+}
+
+std::vector<std::string> CompliantDB::ListTables() const {
+  std::vector<std::string> names;
+  for (const auto& [name, id] : table_ids_) names.push_back(name);
+  return names;
+}
+
+// --- secondary indexes -------------------------------------------------
+
+namespace {
+std::string IndexTableName(const std::string& base, const std::string& name) {
+  return "__idx__" + base + "__" + name;
+}
+std::string IndexEntryKey(Slice secondary, Slice primary) {
+  std::string key(secondary.data(), secondary.size());
+  key.push_back('\0');
+  key.append(primary.data(), primary.size());
+  return key;
+}
+}  // namespace
+
+Result<uint32_t> CompliantDB::CreateIndex(uint32_t table,
+                                          const std::string& name,
+                                          IndexExtractor extractor) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::InvalidArgument("unknown table");
+  auto created = CreateTable(IndexTableName(it->second.name, name));
+  if (!created.ok()) return created.status();
+  indexes_[table].push_back(IndexInfo{created.value(), std::move(extractor)});
+  return created.value();
+}
+
+Result<uint32_t> CompliantDB::AttachIndex(uint32_t table,
+                                          const std::string& name,
+                                          IndexExtractor extractor) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::InvalidArgument("unknown table");
+  auto existing = GetTable(IndexTableName(it->second.name, name));
+  if (!existing.ok()) return existing.status();
+  for (const auto& info : indexes_[table]) {
+    if (info.index_tree == existing.value()) return existing.value();
+  }
+  indexes_[table].push_back(
+      IndexInfo{existing.value(), std::move(extractor)});
+  return existing.value();
+}
+
+Status CompliantDB::ScanIndex(
+    uint32_t index_id, Slice secondary,
+    const std::function<Status(Slice primary_key)>& fn) {
+  Btree* t = tree(index_id);
+  if (t == nullptr) return Status::InvalidArgument("unknown index");
+  std::string begin(secondary.data(), secondary.size());
+  begin.push_back('\0');
+  std::string end(secondary.data(), secondary.size());
+  end.push_back('\x01');
+  return t->ScanRangeCurrent(begin, end, [&](const TupleData& entry) {
+    Slice primary(entry.key.data() + secondary.size() + 1,
+                  entry.key.size() - secondary.size() - 1);
+    return fn(primary);
+  });
+}
+
+// --- transactions ----------------------------------------------------
+
+Result<Transaction*> CompliantDB::Begin() {
+  if (options_.read_only) return Status::NotSupported("read-only open");
+  return txns_->Begin();
+}
+
+Status CompliantDB::Put(Transaction* txn, uint32_t table, Slice key,
+                        Slice value) {
+  auto idx = indexes_.find(table);
+  if (idx == indexes_.end() || idx->second.empty()) {
+    return txns_->Put(txn, table, key, value);
+  }
+  // Maintain every index inside the same transaction: write the base row
+  // once, then per index retire the stale entry and add the new one.
+  std::string old_value;
+  Status got = txns_->Get(txn, table, key, &old_value);
+  if (!got.ok() && !got.IsNotFound()) return got;
+  CDB_RETURN_IF_ERROR(txns_->Put(txn, table, key, value));
+  for (const auto& info : idx->second) {
+    auto new_secondary = info.extractor(value);
+    if (!new_secondary.ok()) return new_secondary.status();
+    if (new_secondary.value().find('\0') != std::string::npos) {
+      return Status::InvalidArgument("indexed key contains NUL");
+    }
+    if (got.ok()) {
+      auto old_secondary = info.extractor(old_value);
+      if (old_secondary.ok()) {
+        if (old_secondary.value() == new_secondary.value()) {
+          continue;  // the live entry already points here
+        }
+        CDB_RETURN_IF_ERROR(
+            txns_->Delete(txn, info.index_tree,
+                          IndexEntryKey(old_secondary.value(), key)));
+      }
+    }
+    CDB_RETURN_IF_ERROR(txns_->Put(
+        txn, info.index_tree, IndexEntryKey(new_secondary.value(), key),
+        ""));
+  }
+  return Status::OK();
+}
+
+Status CompliantDB::Delete(Transaction* txn, uint32_t table, Slice key) {
+  auto idx = indexes_.find(table);
+  if (idx != indexes_.end()) {
+    std::string old_value;
+    Status got = txns_->Get(txn, table, key, &old_value);
+    if (!got.ok()) return got;
+    for (const auto& info : idx->second) {
+      auto old_secondary = info.extractor(old_value);
+      if (old_secondary.ok()) {
+        CDB_RETURN_IF_ERROR(
+            txns_->Delete(txn, info.index_tree,
+                          IndexEntryKey(old_secondary.value(), key)));
+      }
+    }
+  }
+  return txns_->Delete(txn, table, key);
+}
+
+Status CompliantDB::Get(uint32_t table, Slice key, std::string* value) {
+  return txns_->Get(nullptr, table, key, value);
+}
+
+Status CompliantDB::Commit(Transaction* txn) {
+  CDB_RETURN_IF_ERROR(txns_->Commit(txn));
+  // The background timestamper keeps pace with commits (the regret tick
+  // is its hard deadline; this is its steady-state progress).
+  if (txns_->pending_stamp_count() >= 64) {
+    CDB_RETURN_IF_ERROR(txns_->StampPending(32));
+  }
+  return MaybeRegretTick();
+}
+
+Status CompliantDB::Abort(Transaction* txn) {
+  CDB_RETURN_IF_ERROR(txns_->Abort(txn));
+  return MaybeRegretTick();
+}
+
+// --- temporal --------------------------------------------------------
+
+Status CompliantDB::GetAsOf(uint32_t table, Slice key, uint64_t time,
+                            std::string* value) {
+  std::vector<TupleData> versions;
+  CDB_RETURN_IF_ERROR(GetHistory(table, key, &versions));
+  const TupleData* best = nullptr;
+  uint64_t best_time = 0;
+  for (const auto& v : versions) {
+    uint64_t commit;
+    if (v.stamped) {
+      commit = v.start;
+    } else {
+      auto r = txns_->ResolveCommitTime(v.start);
+      if (!r.ok()) continue;
+      commit = r.value();
+    }
+    if (commit <= time && (best == nullptr || commit >= best_time)) {
+      best = &v;
+      best_time = commit;
+    }
+  }
+  if (best == nullptr || best->eol) {
+    return Status::NotFound("no version as of time");
+  }
+  *value = best->value;
+  return Status::OK();
+}
+
+Status CompliantDB::GetHistory(uint32_t table, Slice key,
+                               std::vector<TupleData>* out) {
+  Btree* t = tree(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  out->clear();
+  std::vector<TupleData> migrated = hist_->GetVersions(table, key);
+  std::vector<TupleData> live;
+  CDB_RETURN_IF_ERROR(t->GetVersions(key, &live));
+  out->reserve(migrated.size() + live.size());
+  for (auto& v : migrated) out->push_back(std::move(v));
+  for (auto& v : live) out->push_back(std::move(v));
+  std::stable_sort(out->begin(), out->end(),
+                   [](const TupleData& a, const TupleData& b) {
+                     return a.start < b.start;
+                   });
+  // A crash between the WORM write of a historical page and its MIGRATE
+  // record can leave a version both in the orphan page and the live tree;
+  // versions are unique by start time, so dedup here.
+  out->erase(std::unique(out->begin(), out->end(),
+                         [](const TupleData& a, const TupleData& b) {
+                           return a.start == b.start;
+                         }),
+             out->end());
+  return Status::OK();
+}
+
+Status CompliantDB::ScanCurrent(
+    uint32_t table, Slice begin, Slice end,
+    const std::function<Status(const TupleData&)>& fn) {
+  Btree* t = tree(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  return t->ScanRangeCurrent(begin, end, fn);
+}
+
+// --- retention & shredding -------------------------------------------
+
+Status CompliantDB::SetRetention(uint32_t table, uint64_t retention_micros) {
+  auto txn = Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = Put(txn.value(), expiry_tree_id_, ExpiryPolicy::KeyFor(table),
+                 ExpiryPolicy::EncodeRetention(retention_micros));
+  if (!s.ok()) {
+    (void)Abort(txn.value());
+    return s;
+  }
+  return Commit(txn.value());
+}
+
+Result<VacuumReport> CompliantDB::Vacuum(uint32_t table) {
+  if (options_.read_only) return Status::NotSupported("read-only open");
+  Btree* t = tree(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  auto live = vacuumer_->Run(t, last_audit_time_);
+  if (!live.ok()) return live.status();
+  VacuumReport total = live.value();
+  if (options_.tsb_enabled) {
+    auto hist = vacuumer_->RunHistorical(t, hist_.get(), last_audit_time_);
+    if (!hist.ok()) return hist.status();
+    total.candidates += hist.value().candidates;
+    total.shredded += hist.value().shredded;
+    total.held += hist.value().held;
+  }
+  return total;
+}
+
+// --- litigation holds (§IX) --------------------------------------------
+
+Status CompliantDB::PlaceHold(uint32_t table, Slice key_prefix) {
+  auto txn = Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = Put(txn.value(), holds_tree_id_,
+                 LitigationHolds::KeyFor(table, key_prefix), "subpoena");
+  if (!s.ok()) {
+    (void)Abort(txn.value());
+    return s;
+  }
+  CDB_RETURN_IF_ERROR(Commit(txn.value()));
+  // Holds must be stamped promptly so hold checks resolve by commit time.
+  return txns_->StampPending(0);
+}
+
+Status CompliantDB::ReleaseHold(uint32_t table, Slice key_prefix) {
+  auto txn = Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = Delete(txn.value(), holds_tree_id_,
+                    LitigationHolds::KeyFor(table, key_prefix));
+  if (!s.ok()) {
+    (void)Abort(txn.value());
+    return s;
+  }
+  CDB_RETURN_IF_ERROR(Commit(txn.value()));
+  return txns_->StampPending(0);
+}
+
+Result<bool> CompliantDB::IsHeld(uint32_t table, Slice key) {
+  if (holds_->tree() == nullptr) return false;
+  return holds_->IsHeldNow(table, key);
+}
+
+// --- time & maintenance ----------------------------------------------
+
+Status CompliantDB::AdvanceClock(uint64_t micros) {
+  auto* sim = dynamic_cast<SimulatedClock*>(clock_);
+  if (sim == nullptr) {
+    return Status::NotSupported("AdvanceClock requires a SimulatedClock");
+  }
+  sim->AdvanceMicros(micros);
+  return MaybeRegretTick();
+}
+
+Status CompliantDB::MaybeRegretTick() {
+  uint64_t now = clock_->NowMicros();
+  uint64_t regret = options_.compliance.regret_interval_micros;
+  if (now - last_regret_tick_ < regret) return Status::OK();
+  last_regret_tick_ = now;
+
+  // Lazy stamping catches up, then the mark/sweep dirty-page forcing
+  // guarantees every committed tuple's NEW_TUPLE reaches WORM within the
+  // regret window (§IV-A).
+  CDB_RETURN_IF_ERROR(txns_->StampPending(0));
+  CDB_RETURN_IF_ERROR(cache_->FlushMarkedAndRemark());
+  CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  if (options_.compliance.enabled) {
+    CDB_RETURN_IF_ERROR(logger_->Tick(now));
+    CDB_RETURN_IF_ERROR(RotateTxTail());
+  }
+  return Status::OK();
+}
+
+Status CompliantDB::RotateTxTail() {
+  return wal_->StartTail(worm_.get(), TxTailFileName(epoch_, txtail_seq_++),
+                         0);
+}
+
+Status CompliantDB::FlushAll() {
+  CDB_RETURN_IF_ERROR(txns_->StampPending(0));
+  CDB_RETURN_IF_ERROR(cache_->FlushAll());
+  return wal_->FlushAll();
+}
+
+// --- statistics ----------------------------------------------------------
+
+Result<CompliantDB::DbStats> CompliantDB::Stats() {
+  DbStats stats;
+  stats.epoch = epoch_;
+  stats.cache_hits = cache_->hits();
+  stats.cache_misses = cache_->misses();
+  stats.cache_evictions = cache_->evictions();
+  stats.disk_reads = disk_->reads();
+  stats.disk_writes = disk_->writes();
+  stats.wal_bytes = wal_->durable_lsn() - wal_->base_lsn();
+  if (options_.compliance.enabled && logger_->log() != nullptr) {
+    stats.compliance_log_bytes = logger_->log()->size();
+    stats.compliance_log_records = logger_->log()->record_count();
+  }
+  stats.historical_pages = hist_->page_count();
+  stats.historical_tuples = hist_->tuple_count();
+  stats.worm_violations = worm_->violation_count();
+  for (const auto& [id, info] : tables_) {
+    TableStats ts;
+    ts.name = info.name;
+    ts.tree_id = id;
+    auto pages = info.tree->CountPages();
+    if (pages.ok()) {
+      ts.leaf_pages = pages.value().leaf_pages;
+      ts.internal_pages = pages.value().internal_pages;
+    }
+    CDB_RETURN_IF_ERROR(info.tree->ScanAll([&](PageId, const TupleData&) {
+      ++ts.versions;
+      return Status::OK();
+    }));
+    stats.tables.push_back(std::move(ts));
+  }
+  return stats;
+}
+
+// --- audit -------------------------------------------------------------
+
+RetentionResolver CompliantDB::MakeRetentionResolver() {
+  ExpiryPolicy* expiry = expiry_.get();
+  return [expiry](uint32_t tree_id, uint64_t at_time) {
+    return expiry->At(tree_id, at_time);
+  };
+}
+
+Result<AuditReport> CompliantDB::Audit() {
+  if (!options_.compliance.enabled) {
+    return Status::NotSupported("compliance logging is disabled");
+  }
+  if (options_.read_only) {
+    return Status::NotSupported(
+        "read-only open: use the standalone cdb_audit tool");
+  }
+  if (txns_->HasActiveTxn()) {
+    return Status::Busy("audit requires a quiescent database");
+  }
+  // Quiesce: lazy updates reach disk, everything flushed.
+  CDB_RETURN_IF_ERROR(FlushAll());
+
+  AuditOptions opts;
+  opts.auditor_key = options_.auditor_key;
+  opts.verify_read_hashes = options_.compliance.hash_on_read;
+  opts.identity_hash_check = true;
+  opts.regret_interval_micros = options_.compliance.regret_interval_micros;
+  opts.wal_path = wal_path();
+  opts.retention_resolver = MakeRetentionResolver();
+  LitigationHolds* holds = holds_.get();
+  opts.hold_resolver = [holds](uint32_t tree_id, const std::string& key,
+                               uint64_t at_time) {
+    return holds->IsHeld(tree_id, key, at_time);
+  };
+
+  Auditor auditor(opts, worm_.get(), disk_.get());
+  auto report = auditor.Audit(epoch_, /*write_snapshot=*/true);
+  if (!report.ok()) return report.status();
+
+  if (report.value().ok()) {
+    last_audit_time_ = txns_->last_commit_time();
+    // Whole-file WORM deletion of fully-shredded historical pages
+    // (§VIII): "then the tuple will truly cease to exist."
+    for (const auto& name : report.value().shredded_hist_files) {
+      if (!worm_->Exists(name)) continue;
+      CDB_RETURN_IF_ERROR(worm_->ReleaseRetention(name));
+      CDB_RETURN_IF_ERROR(worm_->Delete(name));
+    }
+    CDB_RETURN_IF_ERROR(auditor.ReleaseOldFiles(epoch_));
+    // The audit is a durable checkpoint: everything it verified is on
+    // disk, so pre-audit WAL records can never be needed for redo again.
+    CDB_RETURN_IF_ERROR(wal_->Truncate());
+    ++epoch_;
+    CDB_RETURN_IF_ERROR(logger_->StartFreshEpoch(epoch_));
+    txtail_seq_ = 0;
+    CDB_RETURN_IF_ERROR(RotateTxTail());
+  }
+  return report;
+}
+
+}  // namespace complydb

@@ -1,0 +1,254 @@
+#ifndef COMPLYDB_DB_COMPLIANT_DB_H_
+#define COMPLYDB_DB_COMPLIANT_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "btree/btree.h"
+#include "common/clock.h"
+#include "compliance/logger.h"
+#include "shred/expiry.h"
+#include "shred/holds.h"
+#include "shred/vacuum.h"
+#include "storage/buffer_cache.h"
+#include "storage/disk_manager.h"
+#include "tsb/tsb_policy.h"
+#include "txn/recovery.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+#include "wal/wal_io_hook.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// Top-level configuration.
+struct DbOptions {
+  /// Directory holding the database file, transaction log, and the WORM
+  /// store emulation (subdirectory `worm/`).
+  std::string dir;
+
+  /// Buffer cache capacity in 4 KB pages (the paper's 256 MB / 512 MB /
+  /// 32 MB knobs, scaled).
+  size_t cache_pages = 256;
+
+  /// Compliance machinery (§IV–§V). compliance.enabled=false gives the
+  /// "native Berkeley DB" baseline of Fig. 3.
+  ComplianceOptions compliance;
+
+  /// Time-split B+-trees + WORM migration (§VI).
+  bool tsb_enabled = false;
+  double tsb_split_threshold = 0.5;
+
+  /// Time source. If null, a SystemClock is owned internally; tests and
+  /// benchmarks pass a SimulatedClock so regret intervals elapse on
+  /// demand.
+  Clock* clock = nullptr;
+
+  /// Key whose holder can sign/verify snapshots (the auditor).
+  std::string auditor_key = "auditor-secret-key";
+
+  /// Simulated storage-server latency per page I/O (0 = none). The
+  /// benchmark harness uses this to model the paper's NFS filer.
+  uint64_t io_latency_micros = 0;
+
+  /// Forensic inspection mode: no recovery, no compliance appends, every
+  /// mutating API refused. The view can be stale after a crash (recovery
+  /// has not run); use tools/cdb_audit for the authoritative verdict.
+  bool read_only = false;
+
+  /// Run the §IV-C structural integrity check over every tree at open
+  /// (after recovery) and refuse to open a corrupted database. Cheaper
+  /// than a full audit; catches file-editor damage early.
+  bool verify_on_open = false;
+};
+
+/// The compliant DBMS facade: a transaction-time key-value store over
+/// B+-trees with WAL recovery, a compliance log on WORM, regret-interval
+/// forcing, audits, time-split migration, and auditable shredding.
+///
+/// Lifecycle: Open -> transactions -> (Close for a clean shutdown, or
+/// destroy the object to simulate a crash — committed work is recovered
+/// from the WAL on the next Open, and the compliance machinery follows
+/// §IV-B).
+class CompliantDB {
+ public:
+  static Result<CompliantDB*> Open(const DbOptions& options);
+  ~CompliantDB();
+
+  CompliantDB(const CompliantDB&) = delete;
+  CompliantDB& operator=(const CompliantDB&) = delete;
+
+  /// Flushes everything and writes the clean-shutdown marker.
+  Status Close();
+
+  // --- schema ---
+  Result<uint32_t> CreateTable(const std::string& name);
+  Result<uint32_t> GetTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+  // --- secondary indexes ---
+  /// Derives the indexed key from a row's value bytes. The derived key
+  /// must not contain a 0x00 byte (it is the index-entry separator).
+  using IndexExtractor = std::function<Result<std::string>(Slice value)>;
+
+  /// Creates a secondary index on `table` and registers its extractor.
+  /// Index entries are ordinary transaction-time tuples in their own tree
+  /// — maintained inside the same transaction as the base write, so they
+  /// are audited, versioned, and tamper-evident like any relation (the
+  /// paper's indexes get the same §IV-C treatment).
+  Result<uint32_t> CreateIndex(uint32_t table, const std::string& name,
+                               IndexExtractor extractor);
+
+  /// Re-registers the extractor for an existing index after reopen
+  /// (extractors are code and cannot be persisted).
+  Result<uint32_t> AttachIndex(uint32_t table, const std::string& name,
+                               IndexExtractor extractor);
+
+  /// Equality lookup: primary keys whose current row derives `secondary`,
+  /// in primary-key order.
+  Status ScanIndex(uint32_t index_id, Slice secondary,
+                   const std::function<Status(Slice primary_key)>& fn);
+
+  // --- transactions ---
+  Result<Transaction*> Begin();
+  Status Put(Transaction* txn, uint32_t table, Slice key, Slice value);
+  Status Delete(Transaction* txn, uint32_t table, Slice key);
+  Status Get(uint32_t table, Slice key, std::string* value);
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  // --- temporal queries ---
+  /// Value of `key` as of commit time `time` (includes WORM-migrated
+  /// history).
+  Status GetAsOf(uint32_t table, Slice key, uint64_t time,
+                 std::string* value);
+  /// Full version history, oldest first (live + migrated).
+  Status GetHistory(uint32_t table, Slice key, std::vector<TupleData>* out);
+  /// Latest value per key over [begin, end) (end empty = unbounded).
+  Status ScanCurrent(uint32_t table, Slice begin, Slice end,
+                     const std::function<Status(const TupleData&)>& fn);
+
+  // --- retention & shredding (§VIII) ---
+  Status SetRetention(uint32_t table, uint64_t retention_micros);
+  Result<VacuumReport> Vacuum(uint32_t table);
+
+  // --- litigation holds (§IX) ---
+  /// Protects every key of `table` starting with `key_prefix` from
+  /// shredding until the hold is released. Audited and versioned.
+  Status PlaceHold(uint32_t table, Slice key_prefix);
+  Status ReleaseHold(uint32_t table, Slice key_prefix);
+  Result<bool> IsHeld(uint32_t table, Slice key);
+
+  // --- time & maintenance ---
+  uint64_t Now() const { return clock_->NowMicros(); }
+  /// Advances a simulated clock and performs any regret-interval work
+  /// that became due (dirty-page forcing, lazy stamping, heartbeats,
+  /// witness files, transaction-log tail rotation).
+  Status AdvanceClock(uint64_t micros);
+  Status FlushAll();
+
+  // --- audit (§IV) ---
+  /// Quiesces, flushes, audits the current epoch; on success releases
+  /// superseded WORM files and begins the next epoch.
+  Result<AuditReport> Audit();
+  uint64_t epoch() const { return epoch_; }
+  uint64_t last_audit_time() const { return last_audit_time_; }
+
+  // --- statistics ---
+  struct TableStats {
+    std::string name;
+    uint32_t tree_id = 0;
+    size_t leaf_pages = 0;
+    size_t internal_pages = 0;
+    size_t versions = 0;
+  };
+  struct DbStats {
+    uint64_t epoch = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t disk_reads = 0;
+    uint64_t disk_writes = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t compliance_log_bytes = 0;
+    uint64_t compliance_log_records = 0;
+    uint64_t historical_pages = 0;
+    uint64_t historical_tuples = 0;
+    uint64_t worm_violations = 0;
+    std::vector<TableStats> tables;
+  };
+  Result<DbStats> Stats();
+
+  // --- introspection (tests & benchmarks) ---
+  DiskManager* disk() { return disk_.get(); }
+  BufferCache* cache() { return cache_.get(); }
+  LogManager* wal() { return wal_.get(); }
+  WormStore* worm() { return worm_.get(); }
+  ComplianceLogger* compliance_logger() { return logger_.get(); }
+  TransactionManager* txns() { return txns_.get(); }
+  HistoricalStore* historical() { return hist_.get(); }
+  Btree* tree(uint32_t table) { return txns_->GetTree(table); }
+  std::string db_path() const { return options_.dir + "/data.db"; }
+  std::string wal_path() const { return options_.dir + "/txn.wal"; }
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+  bool recovered_from_crash() const { return recovered_from_crash_; }
+
+ private:
+  explicit CompliantDB(const DbOptions& options) : options_(options) {}
+
+  Status Init();
+  Status LoadCatalog();
+  Status SaveCatalog();
+  Status MaybeRegretTick();
+  Status RotateTxTail();
+  RetentionResolver MakeRetentionResolver();
+
+  DbOptions options_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_ = nullptr;
+  std::unique_ptr<WormStore> worm_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<LogManager> wal_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<WalFlushHook> wal_hook_;
+  std::unique_ptr<ComplianceLogger> logger_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<HistoricalStore> hist_;
+  std::unique_ptr<TimeSplitPolicy> split_policy_;
+  std::unique_ptr<ExpiryPolicy> expiry_;
+  std::unique_ptr<LitigationHolds> holds_;
+  std::unique_ptr<Vacuumer> vacuumer_;
+
+  struct TableInfo {
+    uint32_t tree_id = 0;
+    PageId root = kInvalidPage;
+    std::string name;
+    std::unique_ptr<Btree> tree;
+  };
+  struct IndexInfo {
+    uint32_t index_tree = 0;
+    IndexExtractor extractor;
+  };
+
+  std::map<std::string, uint32_t> table_ids_;
+  std::map<uint32_t, TableInfo> tables_;
+  std::map<uint32_t, std::vector<IndexInfo>> indexes_;  // base table -> idx
+  uint32_t next_tree_id_ = 1;
+  uint32_t expiry_tree_id_ = 0;
+  uint32_t holds_tree_id_ = 0;
+
+  uint64_t epoch_ = 0;
+  uint64_t last_audit_time_ = 0;
+  uint64_t last_regret_tick_ = 0;
+  uint64_t txtail_seq_ = 0;
+  RecoveryReport recovery_report_;
+  bool recovered_from_crash_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_DB_COMPLIANT_DB_H_

@@ -1,0 +1,45 @@
+#include "shred/expiry.h"
+
+#include "common/coding.h"
+
+namespace complydb {
+
+std::string ExpiryPolicy::KeyFor(uint32_t tree_id) {
+  std::string key;
+  PutBigEndian32(&key, tree_id);
+  return key;
+}
+
+std::string ExpiryPolicy::EncodeRetention(uint64_t retention_micros) {
+  std::string value;
+  PutFixed64(&value, retention_micros);
+  return value;
+}
+
+Result<uint64_t> ExpiryPolicy::Current(uint32_t tree_id) const {
+  TupleData t;
+  CDB_RETURN_IF_ERROR(tree_->GetLatest(KeyFor(tree_id), &t));
+  if (t.value.size() != 8) return Status::Corruption("bad retention value");
+  return DecodeFixed64(t.value.data());
+}
+
+Result<uint64_t> ExpiryPolicy::At(uint32_t tree_id, uint64_t at_time) const {
+  std::vector<TupleData> versions;
+  CDB_RETURN_IF_ERROR(tree_->GetVersions(KeyFor(tree_id), &versions));
+  const TupleData* best = nullptr;
+  for (const auto& v : versions) {
+    if (!v.stamped) continue;
+    if (v.start <= at_time && (best == nullptr || v.start >= best->start)) {
+      best = &v;
+    }
+  }
+  if (best == nullptr || best->eol) {
+    return Status::NotFound("no retention policy in force");
+  }
+  if (best->value.size() != 8) {
+    return Status::Corruption("bad retention value");
+  }
+  return DecodeFixed64(best->value.data());
+}
+
+}  // namespace complydb

@@ -1,0 +1,38 @@
+#ifndef COMPLYDB_SHRED_EXPIRY_H_
+#define COMPLYDB_SHRED_EXPIRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "btree/btree.h"
+#include "common/status.h"
+
+namespace complydb {
+
+/// The Expiry relation (paper §VIII): one retention period per relation,
+/// stored as ordinary transaction-time tuples in a dedicated tree — so
+/// retention-policy changes are themselves versioned, audited, and
+/// tamper-evident. Key: big-endian tree id; value: retention micros.
+class ExpiryPolicy {
+ public:
+  explicit ExpiryPolicy(Btree* expiry_tree) : tree_(expiry_tree) {}
+
+  static std::string KeyFor(uint32_t tree_id);
+  static std::string EncodeRetention(uint64_t retention_micros);
+
+  /// Retention currently in force for `tree_id`; NotFound if none set.
+  Result<uint64_t> Current(uint32_t tree_id) const;
+
+  /// Retention in force at `at_time` (resolved over the version history;
+  /// only stamped versions participate). NotFound if none was set by then.
+  Result<uint64_t> At(uint32_t tree_id, uint64_t at_time) const;
+
+  Btree* tree() const { return tree_; }
+
+ private:
+  Btree* tree_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_SHRED_EXPIRY_H_

@@ -1,0 +1,70 @@
+#include "shred/holds.h"
+
+#include <limits>
+
+#include "common/coding.h"
+
+namespace complydb {
+
+std::string LitigationHolds::KeyFor(uint32_t tree_id, Slice key_prefix) {
+  std::string key;
+  PutBigEndian32(&key, tree_id);
+  key.append(key_prefix.data(), key_prefix.size());
+  return key;
+}
+
+Result<bool> LitigationHolds::IsHeld(uint32_t tree_id, Slice key,
+                                     uint64_t at_time) const {
+  // Candidate holds for this tree are the hold keys that are prefixes of
+  // (tree_id || key). Scan the tree's hold range and test each hold key
+  // for the prefix property; hold counts are tiny in practice.
+  std::string begin = KeyFor(tree_id, Slice());
+  std::string end = KeyFor(tree_id + 1, Slice());
+  std::string probe = KeyFor(tree_id, key);
+
+  bool held = false;
+  std::string current_key;
+  const TupleData* best = nullptr;
+  TupleData best_copy;
+  uint64_t best_time = 0;
+
+  auto consider_group = [&]() {
+    if (best != nullptr && !best->eol) held = true;
+    best = nullptr;
+    best_time = 0;
+  };
+
+  CDB_RETURN_IF_ERROR(tree_->ScanVersionsInRange(
+      begin, end, [&](const TupleData& t) -> Status {
+        // Hold key must be a prefix of the probe.
+        if (t.key.size() > probe.size() ||
+            probe.compare(0, t.key.size(), t.key) != 0) {
+          return Status::OK();
+        }
+        if (t.key != current_key) {
+          consider_group();
+          current_key = t.key;
+        }
+        // Latest version with commit time <= at_time. Holds are stamped
+        // promptly (the facade stamps before vacuum/audit); unstamped
+        // versions are conservatively treated as active-now only.
+        uint64_t commit = t.start;
+        if (!t.stamped && at_time != std::numeric_limits<uint64_t>::max()) {
+          return Status::OK();
+        }
+        if (commit <= at_time && (best == nullptr || commit >= best_time)) {
+          best_copy = t;
+          best = &best_copy;
+          best_time = commit;
+        }
+        return Status::OK();
+      }));
+  consider_group();
+  return held;
+}
+
+Result<bool> LitigationHolds::IsHeldNow(uint32_t tree_id, Slice key) const {
+  return IsHeld(tree_id, key, std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace complydb

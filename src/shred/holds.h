@@ -1,0 +1,48 @@
+#ifndef COMPLYDB_SHRED_HOLDS_H_
+#define COMPLYDB_SHRED_HOLDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "btree/btree.h"
+#include "common/status.h"
+
+namespace complydb {
+
+/// Litigation holds — the paper's §IX future work: "support for
+/// 'litigation holds', which ensure that subpoenaed but expired tuples
+/// are not shredded."
+///
+/// A hold names a (relation, key-prefix) scope. Holds are stored as
+/// ordinary transaction-time tuples in a dedicated tree, so placing and
+/// releasing them is versioned, audited, and tamper-evident — the
+/// auditor can establish exactly which holds were in force at any shred
+/// timestamp, and a vacuum that destroyed subpoenaed data fails the
+/// audit even if the vacuum process itself was compromised.
+///
+/// Key encoding: big-endian tree id || prefix bytes. An active hold is a
+/// live (non-EOL) tuple; releasing a hold deletes it (EOL version), so
+/// its full activation history remains queryable.
+class LitigationHolds {
+ public:
+  explicit LitigationHolds(Btree* holds_tree) : tree_(holds_tree) {}
+
+  static std::string KeyFor(uint32_t tree_id, Slice key_prefix);
+
+  /// True if some hold covering (tree_id, key) was active at `at_time`
+  /// (active: its latest version with commit time <= at_time is not
+  /// end-of-life). Prefix semantics: a hold on "acct" covers "acct-42".
+  Result<bool> IsHeld(uint32_t tree_id, Slice key, uint64_t at_time) const;
+
+  /// Convenience: held right now (max timestamp).
+  Result<bool> IsHeldNow(uint32_t tree_id, Slice key) const;
+
+  Btree* tree() const { return tree_; }
+
+ private:
+  Btree* tree_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_SHRED_HOLDS_H_

@@ -1,0 +1,175 @@
+#include "storage/buffer_cache.h"
+
+#include <limits>
+
+namespace complydb {
+
+BufferCache::BufferCache(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  free_list_.reserve(capacity_);
+  for (size_t i = capacity_; i-- > 0;) free_list_.push_back(i);
+}
+
+Status BufferCache::WriteOut(Frame* frame) {
+  for (IoHook* hook : hooks_) {
+    CDB_RETURN_IF_ERROR(hook->OnPageWrite(frame->pgno, frame->page));
+  }
+  CDB_RETURN_IF_ERROR(disk_->WritePage(frame->pgno, frame->page));
+  frame->dirty = false;
+  frame->marked = false;
+  return Status::OK();
+}
+
+Result<size_t> BufferCache::FindVictim() {
+  if (!free_list_.empty()) {
+    size_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  size_t victim = capacity_;
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i < capacity_; ++i) {
+    if (frames_[i].pin_count == 0 && frames_[i].lru_tick < best) {
+      best = frames_[i].lru_tick;
+      victim = i;
+    }
+  }
+  if (victim == capacity_) {
+    return Status::Busy("buffer cache: all frames pinned");
+  }
+  Frame* frame = &frames_[victim];
+  if (frame->dirty) {
+    // Steal: the page may hold uncommitted data; the WAL hook guarantees
+    // the write-ahead rule before the bytes reach disk.
+    CDB_RETURN_IF_ERROR(WriteOut(frame));
+  }
+  table_.erase(frame->pgno);
+  ++evictions_;
+  return victim;
+}
+
+Status BufferCache::FetchPage(PageId pgno, Page** out) {
+  auto it = table_.find(pgno);
+  if (it != table_.end()) {
+    Frame* frame = &frames_[it->second];
+    ++frame->pin_count;
+    frame->lru_tick = ++tick_;
+    ++hits_;
+    *out = &frame->page;
+    return Status::OK();
+  }
+  ++misses_;
+  Result<size_t> victim = FindVictim();
+  if (!victim.ok()) return victim.status();
+  size_t idx = victim.value();
+  Frame* frame = &frames_[idx];
+  Status s = disk_->ReadPage(pgno, &frame->page);
+  if (!s.ok()) {
+    free_list_.push_back(idx);
+    return s;
+  }
+  for (IoHook* hook : hooks_) {
+    Status hs = hook->OnPageRead(pgno, frame->page);
+    if (!hs.ok()) {
+      free_list_.push_back(idx);
+      return hs;
+    }
+  }
+  frame->pgno = pgno;
+  frame->dirty = false;
+  frame->marked = false;
+  frame->pin_count = 1;
+  frame->lru_tick = ++tick_;
+  table_[pgno] = idx;
+  *out = &frame->page;
+  return Status::OK();
+}
+
+Result<PageId> BufferCache::NewPage(Page** out) {
+  Result<PageId> alloc = disk_->AllocatePage();
+  if (!alloc.ok()) return alloc.status();
+  PageId pgno = alloc.value();
+  Result<size_t> victim = FindVictim();
+  if (!victim.ok()) return victim.status();
+  size_t idx = victim.value();
+  Frame* frame = &frames_[idx];
+  frame->page.Zero();
+  frame->pgno = pgno;
+  frame->dirty = true;
+  frame->marked = false;
+  frame->pin_count = 1;
+  frame->lru_tick = ++tick_;
+  table_[pgno] = idx;
+  *out = &frame->page;
+  return pgno;
+}
+
+void BufferCache::Unpin(PageId pgno, bool dirty) {
+  auto it = table_.find(pgno);
+  if (it == table_.end()) return;
+  Frame* frame = &frames_[it->second];
+  if (frame->pin_count > 0) --frame->pin_count;
+  if (dirty) frame->dirty = true;
+}
+
+Status BufferCache::FlushPage(PageId pgno) {
+  auto it = table_.find(pgno);
+  if (it == table_.end()) return Status::OK();
+  Frame* frame = &frames_[it->second];
+  if (!frame->dirty) return Status::OK();
+  return WriteOut(frame);
+}
+
+Status BufferCache::FlushAll() {
+  for (auto& frame : frames_) {
+    if (frame.pgno != kInvalidPage && table_.count(frame.pgno) > 0 &&
+        frame.dirty) {
+      CDB_RETURN_IF_ERROR(WriteOut(&frame));
+    }
+  }
+  return disk_->Sync();
+}
+
+Status BufferCache::FlushMarkedAndRemark() {
+  for (auto& frame : frames_) {
+    if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
+    if (frame.dirty && frame.marked) {
+      CDB_RETURN_IF_ERROR(WriteOut(&frame));
+    }
+  }
+  for (auto& frame : frames_) {
+    if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
+    frame.marked = frame.dirty;
+  }
+  return Status::OK();
+}
+
+Status BufferCache::DropAll() {
+  CDB_RETURN_IF_ERROR(FlushAll());
+  for (auto& frame : frames_) {
+    if (frame.pin_count > 0) {
+      return Status::Busy("buffer cache: cannot drop pinned frame");
+    }
+  }
+  table_.clear();
+  free_list_.clear();
+  for (size_t i = capacity_; i-- > 0;) {
+    frames_[i] = Frame{};
+    free_list_.push_back(i);
+  }
+  return Status::OK();
+}
+
+size_t BufferCache::dirty_count() const {
+  size_t n = 0;
+  for (const auto& frame : frames_) {
+    if (frame.pgno != kInvalidPage && table_.count(frame.pgno) > 0 &&
+        frame.dirty) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace complydb

@@ -1,0 +1,139 @@
+#ifndef COMPLYDB_STORAGE_BUFFER_CACHE_H_
+#define COMPLYDB_STORAGE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/io_hook.h"
+#include "storage/page.h"
+
+namespace complydb {
+
+/// Fixed-capacity LRU buffer cache with a *steal / no-force* policy:
+/// dirty pages of uncommitted transactions may be evicted (steal — this is
+/// what creates the UNDO cases of paper §IV-B), and commit does not flush
+/// (no-force — a crash may lose the pwrite of a committed tuple, which is
+/// why the transaction-log tail lives on WORM).
+///
+/// Every disk crossing runs the registered IoHooks; the compliance logger
+/// observes the database exclusively through this seam.
+///
+/// Regret-interval support (§IV-A): MarkDirtyPages() stamps the current
+/// dirty set, FlushMarked() writes out pages stamped in the *previous*
+/// cycle — "we enforce this by marking all dirty pages once every regret
+/// interval, after calling pwrite on all dirty pages that were marked
+/// during the previous cycle."
+class BufferCache {
+ public:
+  BufferCache(DiskManager* disk, size_t capacity);
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  /// Hooks run in registration order on every read and write.
+  void AddHook(IoHook* hook) { hooks_.push_back(hook); }
+
+  /// Pins the page (fetching from disk on a miss) and returns a pointer
+  /// valid until Unpin.
+  Status FetchPage(PageId pgno, Page** out);
+
+  /// Allocates a fresh page, pins it zeroed; caller formats it.
+  Result<PageId> NewPage(Page** out);
+
+  void Unpin(PageId pgno, bool dirty);
+
+  Status FlushPage(PageId pgno);
+  Status FlushAll();
+
+  /// Regret-interval cycle: flush everything marked last cycle, then mark
+  /// the currently dirty pages for the next one.
+  Status FlushMarkedAndRemark();
+
+  /// Drops all unpinned frames (dirty frames are flushed first). Used to
+  /// simulate a cold cache / restart so reads hit the disk image again.
+  Status DropAll();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t dirty_count() const;
+
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId pgno = kInvalidPage;
+    bool dirty = false;
+    bool marked = false;
+    int pin_count = 0;
+    uint64_t lru_tick = 0;
+  };
+
+  Status WriteOut(Frame* frame);
+  Result<size_t> FindVictim();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::vector<size_t> free_list_;
+  std::vector<IoHook*> hooks_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// RAII pin guard.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferCache* cache, PageId pgno, Page* page)
+      : cache_(cache), pgno_(pgno), page_(page) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      cache_ = o.cache_;
+      pgno_ = o.pgno_;
+      page_ = o.page_;
+      dirty_ = o.dirty_;
+      o.cache_ = nullptr;
+      o.page_ = nullptr;
+    }
+    return *this;
+  }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  PageId pgno() const { return pgno_; }
+  void MarkDirty() { dirty_ = true; }
+  bool valid() const { return page_ != nullptr; }
+
+  void Release() {
+    if (cache_ != nullptr && page_ != nullptr) {
+      cache_->Unpin(pgno_, dirty_);
+      cache_ = nullptr;
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferCache* cache_ = nullptr;
+  PageId pgno_ = kInvalidPage;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_STORAGE_BUFFER_CACHE_H_

@@ -1,0 +1,84 @@
+#include "storage/disk_manager.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace complydb {
+
+Result<DiskManager*> DiskManager::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    f = std::fopen(path.c_str(), "w+b");
+  }
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("seek " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(f);
+    return Status::Corruption("db file size not page-aligned: " + path);
+  }
+  return new DiskManager(path, f, static_cast<PageId>(size / kPageSize));
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void DiskManager::SimulateLatency() const {
+  if (latency_micros_ == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(latency_micros_));
+}
+
+Status DiskManager::ReadPage(PageId pgno, Page* page) {
+  if (pgno >= page_count_) return Status::InvalidArgument("pgno out of range");
+  SimulateLatency();
+  if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek for read");
+  }
+  size_t n = std::fread(page->data(), 1, kPageSize, file_);
+  if (n != kPageSize) return Status::IOError("short page read");
+  ++reads_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId pgno, const Page& page) {
+  if (pgno >= page_count_) return Status::InvalidArgument("pgno out of range");
+  SimulateLatency();
+  if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek for write");
+  }
+  size_t n = std::fwrite(page.data(), 1, kPageSize, file_);
+  if (n != kPageSize) return Status::IOError("short page write");
+  if (std::fflush(file_) != 0) return Status::IOError("flush page write");
+  ++writes_;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  Page zero;
+  PageId pgno = page_count_;
+  if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek for allocate");
+  }
+  size_t n = std::fwrite(zero.data(), 1, kPageSize, file_);
+  if (n != kPageSize) return Status::IOError("short allocate write");
+  if (std::fflush(file_) != 0) return Status::IOError("flush allocate");
+  ++page_count_;
+  return pgno;
+}
+
+Status DiskManager::Sync() {
+  if (std::fflush(file_) != 0) return Status::IOError("sync flush");
+  return Status::OK();
+}
+
+}  // namespace complydb

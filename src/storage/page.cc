@@ -1,0 +1,222 @@
+#include "storage/page.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/coding.h"
+
+namespace complydb {
+
+namespace {
+// Header field offsets.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffPgno = 4;
+constexpr size_t kOffLsn = 8;
+constexpr size_t kOffType = 16;
+constexpr size_t kOffLevel = 17;
+constexpr size_t kOffSlotCount = 18;
+constexpr size_t kOffHeapOff = 20;
+constexpr size_t kOffNextOrder = 22;
+constexpr size_t kOffRightSibling = 24;
+constexpr size_t kOffTreeId = 28;
+// 32..40 reserved.
+}  // namespace
+
+bool Page::IsFormatted() const { return magic() == kPageMagic; }
+
+void Page::Format(PageId pgno, PageType type, uint32_t tree_id, uint8_t level) {
+  Zero();
+  EncodeFixed32(data_.data() + kOffMagic, kPageMagic);
+  EncodeFixed32(data_.data() + kOffPgno, pgno);
+  EncodeFixed64(data_.data() + kOffLsn, 0);
+  data_[kOffType] = static_cast<char>(type);
+  data_[kOffLevel] = static_cast<char>(level);
+  EncodeFixed16(data_.data() + kOffSlotCount, 0);
+  EncodeFixed16(data_.data() + kOffHeapOff, static_cast<uint16_t>(kPageSize));
+  EncodeFixed16(data_.data() + kOffNextOrder, 0);
+  EncodeFixed32(data_.data() + kOffRightSibling, kInvalidPage);
+  EncodeFixed32(data_.data() + kOffTreeId, tree_id);
+}
+
+uint32_t Page::magic() const { return DecodeFixed32(data_.data() + kOffMagic); }
+PageId Page::pgno() const { return DecodeFixed32(data_.data() + kOffPgno); }
+void Page::set_pgno(PageId p) { EncodeFixed32(data_.data() + kOffPgno, p); }
+Lsn Page::lsn() const { return DecodeFixed64(data_.data() + kOffLsn); }
+void Page::set_lsn(Lsn lsn) { EncodeFixed64(data_.data() + kOffLsn, lsn); }
+
+PageType Page::type() const {
+  return static_cast<PageType>(static_cast<uint8_t>(data_[kOffType]));
+}
+void Page::set_type(PageType t) { data_[kOffType] = static_cast<char>(t); }
+uint8_t Page::level() const { return static_cast<uint8_t>(data_[kOffLevel]); }
+void Page::set_level(uint8_t l) { data_[kOffLevel] = static_cast<char>(l); }
+
+uint16_t Page::slot_count() const {
+  return DecodeFixed16(data_.data() + kOffSlotCount);
+}
+void Page::set_slot_count(uint16_t v) {
+  EncodeFixed16(data_.data() + kOffSlotCount, v);
+}
+
+uint16_t Page::next_order_number() const {
+  return DecodeFixed16(data_.data() + kOffNextOrder);
+}
+void Page::set_next_order_number(uint16_t n) {
+  EncodeFixed16(data_.data() + kOffNextOrder, n);
+}
+uint16_t Page::TakeOrderNumber() {
+  uint16_t n = next_order_number();
+  set_next_order_number(static_cast<uint16_t>(n + 1));
+  return n;
+}
+
+PageId Page::right_sibling() const {
+  return DecodeFixed32(data_.data() + kOffRightSibling);
+}
+void Page::set_right_sibling(PageId p) {
+  EncodeFixed32(data_.data() + kOffRightSibling, p);
+}
+
+uint32_t Page::tree_id() const {
+  return DecodeFixed32(data_.data() + kOffTreeId);
+}
+void Page::set_tree_id(uint32_t id) {
+  EncodeFixed32(data_.data() + kOffTreeId, id);
+}
+
+uint16_t Page::heap_off() const {
+  return DecodeFixed16(data_.data() + kOffHeapOff);
+}
+void Page::set_heap_off(uint16_t v) {
+  EncodeFixed16(data_.data() + kOffHeapOff, v);
+}
+
+uint16_t Page::SlotOffset(uint16_t slot) const {
+  return DecodeFixed16(data_.data() + kHeaderSize + 2 * slot);
+}
+void Page::SetSlotOffset(uint16_t slot, uint16_t off) {
+  EncodeFixed16(data_.data() + kHeaderSize + 2 * slot, off);
+}
+
+size_t Page::FreeSpace() const {
+  size_t slots_end = kHeaderSize + 2 * static_cast<size_t>(slot_count());
+  size_t heap = heap_off();
+  size_t gap = heap > slots_end ? heap - slots_end : 0;
+  // One more record needs its bytes plus a 2-byte slot.
+  return gap > 2 ? gap - 2 : 0;
+}
+
+Slice Page::RecordAt(uint16_t slot) const {
+  uint16_t off = SlotOffset(slot);
+  uint16_t len = DecodeFixed16(data_.data() + off);
+  return Slice(data_.data() + off, len);
+}
+
+Status Page::InsertRecord(uint16_t slot, Slice record) {
+  if (record.size() < 2 || record.size() > kPageSize) {
+    return Status::InvalidArgument("record size");
+  }
+  if (DecodeFixed16(record.data()) != record.size()) {
+    return Status::InvalidArgument("record length prefix mismatch");
+  }
+  uint16_t count = slot_count();
+  if (slot > count) return Status::InvalidArgument("slot out of range");
+  if (FreeSpace() < record.size()) return Status::Busy("page full");
+
+  uint16_t heap = heap_off();
+  uint16_t new_off = static_cast<uint16_t>(heap - record.size());
+  std::memcpy(data_.data() + new_off, record.data(), record.size());
+  set_heap_off(new_off);
+
+  // Shift slot entries [slot, count) one position right.
+  for (uint16_t i = count; i > slot; --i) {
+    SetSlotOffset(i, SlotOffset(static_cast<uint16_t>(i - 1)));
+  }
+  SetSlotOffset(slot, new_off);
+  set_slot_count(static_cast<uint16_t>(count + 1));
+  return Status::OK();
+}
+
+Status Page::AppendRecord(Slice record) {
+  return InsertRecord(slot_count(), record);
+}
+
+Status Page::EraseRecord(uint16_t slot) {
+  uint16_t count = slot_count();
+  if (slot >= count) return Status::InvalidArgument("slot out of range");
+  uint16_t off = SlotOffset(slot);
+  uint16_t len = DecodeFixed16(data_.data() + off);
+  uint16_t heap = heap_off();
+
+  // Compact: move heap bytes [heap, off) up by len.
+  std::memmove(data_.data() + heap + len, data_.data() + heap,
+               static_cast<size_t>(off - heap));
+  set_heap_off(static_cast<uint16_t>(heap + len));
+
+  // Fix up slot offsets pointing below the erased record, and close the
+  // slot directory gap.
+  for (uint16_t i = 0; i < count; ++i) {
+    if (i == slot) continue;
+    uint16_t o = SlotOffset(i);
+    if (o < off) SetSlotOffset(i, static_cast<uint16_t>(o + len));
+  }
+  for (uint16_t i = slot; i + 1 < count; ++i) {
+    SetSlotOffset(i, SlotOffset(static_cast<uint16_t>(i + 1)));
+  }
+  set_slot_count(static_cast<uint16_t>(count - 1));
+  return Status::OK();
+}
+
+Status Page::ReplaceRecord(uint16_t slot, Slice record) {
+  CDB_RETURN_IF_ERROR(EraseRecord(slot));
+  return InsertRecord(slot, record);
+}
+
+std::vector<std::string> Page::AllRecords() const {
+  std::vector<std::string> out;
+  uint16_t count = slot_count();
+  out.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    Slice r = RecordAt(i);
+    out.emplace_back(r.data(), r.size());
+  }
+  return out;
+}
+
+Status Page::CheckStructure() const {
+  if (magic() != kPageMagic) return Status::Corruption("bad page magic");
+  uint16_t count = slot_count();
+  size_t slots_end = kHeaderSize + 2 * static_cast<size_t>(count);
+  uint16_t heap = heap_off();
+  if (slots_end > heap || heap > kPageSize) {
+    return Status::Corruption("slot directory overlaps heap");
+  }
+  // Records must tile [heap, kPageSize) without overlap. Collect offsets.
+  std::vector<std::pair<uint16_t, uint16_t>> extents;  // (off, len)
+  size_t total = 0;
+  for (uint16_t i = 0; i < count; ++i) {
+    uint16_t off = SlotOffset(i);
+    // The record's 2-byte length prefix must itself lie inside the page.
+    if (off < heap || static_cast<size_t>(off) + 2 > kPageSize) {
+      return Status::Corruption("slot offset out of heap");
+    }
+    uint16_t len = DecodeFixed16(data_.data() + off);
+    if (len < 2 || off + static_cast<size_t>(len) > kPageSize) {
+      return Status::Corruption("record extends past page end");
+    }
+    extents.emplace_back(off, len);
+    total += len;
+  }
+  if (total != kPageSize - heap) {
+    return Status::Corruption("heap bytes not fully covered by records");
+  }
+  std::sort(extents.begin(), extents.end());
+  size_t expect = heap;
+  for (auto [off, len] : extents) {
+    if (off != expect) return Status::Corruption("record overlap or gap");
+    expect = off + len;
+  }
+  return Status::OK();
+}
+
+}  // namespace complydb

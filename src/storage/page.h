@@ -1,0 +1,121 @@
+#ifndef COMPLYDB_STORAGE_PAGE_H_
+#define COMPLYDB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace complydb {
+
+using PageId = uint32_t;
+using Lsn = uint64_t;
+
+/// Page 0 is the database meta page; kInvalidPage marks "no page".
+constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+constexpr PageId kMetaPage = 0;
+
+constexpr size_t kPageSize = 4096;
+constexpr uint32_t kPageMagic = 0xC0DBDA7Au;
+
+enum class PageType : uint8_t {
+  kFree = 0,
+  kMeta = 1,
+  kBtreeLeaf = 2,
+  kBtreeInternal = 3,
+};
+
+/// A 4 KB slotted page.
+///
+/// Layout:
+///   [0,40)                 header (see accessors)
+///   [40, 40+2*slots)       slot directory, u16 record offsets, in order
+///   [heap_off, kPageSize)  record heap, grows downward
+///
+/// Records are opaque byte strings to this class; the B+-tree module
+/// defines tuple and index-entry encodings on top. EraseRecord compacts the
+/// heap immediately, so there are never dead bytes between records — this
+/// matters for the compliance logger, whose page diffs must see exactly the
+/// live record set.
+class Page {
+ public:
+  static constexpr size_t kHeaderSize = 40;
+
+  Page() { Zero(); }
+
+  void Zero() { data_.fill(0); }
+
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+  Slice AsSlice() const { return Slice(data_.data(), kPageSize); }
+
+  bool IsFormatted() const;
+
+  /// Formats a blank page of the given type.
+  void Format(PageId pgno, PageType type, uint32_t tree_id, uint8_t level);
+
+  // --- header accessors ---
+  uint32_t magic() const;
+  PageId pgno() const;
+  void set_pgno(PageId p);
+  Lsn lsn() const;
+  void set_lsn(Lsn lsn);
+  PageType type() const;
+  void set_type(PageType t);
+  uint8_t level() const;
+  void set_level(uint8_t l);
+  uint16_t slot_count() const;
+  uint16_t next_order_number() const;
+  /// Returns the next order number and increments the stored counter.
+  uint16_t TakeOrderNumber();
+  void set_next_order_number(uint16_t n);
+  PageId right_sibling() const;
+  void set_right_sibling(PageId p);
+  uint32_t tree_id() const;
+  void set_tree_id(uint32_t id);
+
+  // --- record operations ---
+  /// Bytes available for one more record (accounts for its slot entry).
+  size_t FreeSpace() const;
+
+  /// Record bytes at the given slot (0 <= slot < slot_count()).
+  Slice RecordAt(uint16_t slot) const;
+
+  /// Inserts a record so it occupies slot `slot`, shifting later slots.
+  /// Fails with kBusy if the page is full (caller splits).
+  Status InsertRecord(uint16_t slot, Slice record);
+
+  /// Appends a record at the end of the slot directory.
+  Status AppendRecord(Slice record);
+
+  /// Removes the record at `slot`, compacting the heap.
+  Status EraseRecord(uint16_t slot);
+
+  /// Replaces the record at `slot` with `record` (sizes may differ).
+  Status ReplaceRecord(uint16_t slot, Slice record);
+
+  /// All records, in slot order (copies).
+  std::vector<std::string> AllRecords() const;
+
+  /// Structural sanity of the header + slot directory: magic, offsets in
+  /// bounds, no overlapping records. This is the "integrity checker" the
+  /// paper notes most commercial DBMSs have (§IV-C).
+  Status CheckStructure() const;
+
+ private:
+  uint16_t heap_off() const;
+  void set_heap_off(uint16_t v);
+  void set_slot_count(uint16_t v);
+  uint16_t SlotOffset(uint16_t slot) const;
+  void SetSlotOffset(uint16_t slot, uint16_t off);
+
+  std::array<char, kPageSize> data_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_STORAGE_PAGE_H_

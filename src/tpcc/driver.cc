@@ -1,0 +1,59 @@
+#include "tpcc/workload.h"
+
+#include <vector>
+
+namespace complydb {
+namespace tpcc {
+
+// Standard mix (clause 5.2.4): NewOrder 45%, Payment 43%, OrderStatus 4%,
+// Delivery 4%, StockLevel 4% — implemented as a card deck per 100
+// transactions so the proportions are exact over a run.
+Status Workload::RunMix(uint64_t num_txns, MixStats* stats) {
+  std::vector<int> deck;
+  deck.reserve(100);
+  for (int i = 0; i < 45; ++i) deck.push_back(0);
+  for (int i = 0; i < 43; ++i) deck.push_back(1);
+  for (int i = 0; i < 4; ++i) deck.push_back(2);
+  for (int i = 0; i < 4; ++i) deck.push_back(3);
+  for (int i = 0; i < 4; ++i) deck.push_back(4);
+
+  size_t cursor = deck.size();
+  for (uint64_t n = 0; n < num_txns; ++n) {
+    if (cursor >= deck.size()) {
+      // Reshuffle.
+      for (size_t i = deck.size(); i > 1; --i) {
+        std::swap(deck[i - 1], deck[rng_.raw()->Uniform(i)]);
+      }
+      cursor = 0;
+    }
+    switch (deck[cursor++]) {
+      case 0: {
+        bool committed = false;
+        CDB_RETURN_IF_ERROR(NewOrder(&committed));
+        ++stats->new_order;
+        if (!committed) ++stats->rollbacks;
+        break;
+      }
+      case 1:
+        CDB_RETURN_IF_ERROR(Payment());
+        ++stats->payment;
+        break;
+      case 2:
+        CDB_RETURN_IF_ERROR(OrderStatus());
+        ++stats->order_status;
+        break;
+      case 3:
+        CDB_RETURN_IF_ERROR(Delivery());
+        ++stats->delivery;
+        break;
+      case 4:
+        CDB_RETURN_IF_ERROR(StockLevel());
+        ++stats->stock_level;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace complydb

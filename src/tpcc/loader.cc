@@ -1,0 +1,218 @@
+#include "tpcc/workload.h"
+
+#include <set>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace complydb {
+namespace tpcc {
+
+Status Workload::CreateOrAttachTables() {
+  auto resolve = [&](const char* name, uint32_t* out) -> Status {
+    auto existing = db_->GetTable(name);
+    if (existing.ok()) {
+      *out = existing.value();
+      return Status::OK();
+    }
+    auto created = db_->CreateTable(name);
+    if (!created.ok()) return created.status();
+    *out = created.value();
+    return Status::OK();
+  };
+  CDB_RETURN_IF_ERROR(resolve(kWarehouse, &tables_.warehouse));
+  CDB_RETURN_IF_ERROR(resolve(kDistrict, &tables_.district));
+  CDB_RETURN_IF_ERROR(resolve(kCustomer, &tables_.customer));
+  CDB_RETURN_IF_ERROR(resolve(kHistory, &tables_.history));
+  CDB_RETURN_IF_ERROR(resolve(kNewOrder, &tables_.new_order));
+  CDB_RETURN_IF_ERROR(resolve(kOrder, &tables_.order));
+  CDB_RETURN_IF_ERROR(resolve(kOrderLine, &tables_.order_line));
+  CDB_RETURN_IF_ERROR(resolve(kItem, &tables_.item));
+  CDB_RETURN_IF_ERROR(resolve(kStock, &tables_.stock));
+  CDB_RETURN_IF_ERROR(resolve(kCustomerLastOrder, &tables_.cust_last_order));
+
+  // Customer-by-last-name secondary index; binary fields hex-encoded so
+  // the derived key stays NUL-free (the index-entry separator).
+  auto by_name = [](Slice value) -> Result<std::string> {
+    CustomerRow row;
+    CDB_RETURN_IF_ERROR(CustomerRow::Decode(value, &row));
+    char prefix[20];
+    std::snprintf(prefix, sizeof(prefix), "%08x%08x", row.w, row.d);
+    return std::string(prefix) + row.last_name;
+  };
+  auto idx = db_->AttachIndex(tables_.customer, "by_name", by_name);
+  if (!idx.ok()) {
+    idx = db_->CreateIndex(tables_.customer, "by_name", by_name);
+    if (!idx.ok()) return idx.status();
+  }
+  tables_.customer_by_name = idx.value();
+  return Status::OK();
+}
+
+Status Workload::Load() {
+  // Items.
+  {
+    Transaction* txn = nullptr;
+    int in_batch = 0;
+    for (uint32_t i = 1; i <= scale_.items; ++i) {
+      if (txn == nullptr) {
+        auto b = db_->Begin();
+        if (!b.ok()) return b.status();
+        txn = b.value();
+        in_batch = 0;
+      }
+      ItemRow row;
+      row.name = "item-" + std::to_string(i);
+      row.price_cents = static_cast<int64_t>(rng_.Uniform(100, 10000));
+      row.data = rng_.AString(26, 50);
+      CDB_RETURN_IF_ERROR(
+          db_->Put(txn, tables_.item, ItemKey(i), row.Encode()));
+      if (++in_batch >= 200) {
+        CDB_RETURN_IF_ERROR(db_->Commit(txn));
+        txn = nullptr;
+      }
+    }
+    if (txn != nullptr) CDB_RETURN_IF_ERROR(db_->Commit(txn));
+  }
+
+  for (uint32_t w = 1; w <= scale_.warehouses; ++w) {
+    // Warehouse row.
+    {
+      auto b = db_->Begin();
+      if (!b.ok()) return b.status();
+      WarehouseRow row;
+      row.name = "wh-" + std::to_string(w);
+      row.tax_bp = static_cast<int64_t>(rng_.Uniform(0, 2000));
+      CDB_RETURN_IF_ERROR(
+          db_->Put(b.value(), tables_.warehouse, WarehouseKey(w),
+                   row.Encode()));
+      CDB_RETURN_IF_ERROR(db_->Commit(b.value()));
+    }
+
+    // Stock: one row per item.
+    {
+      Transaction* txn = nullptr;
+      int in_batch = 0;
+      for (uint32_t i = 1; i <= scale_.items; ++i) {
+        if (txn == nullptr) {
+          auto b = db_->Begin();
+          if (!b.ok()) return b.status();
+          txn = b.value();
+          in_batch = 0;
+        }
+        StockRow row;
+        row.quantity = static_cast<int32_t>(rng_.Uniform(10, 100));
+        row.dist_info = rng_.AString(24, 24);
+        CDB_RETURN_IF_ERROR(
+            db_->Put(txn, tables_.stock, StockKey(w, i), row.Encode()));
+        if (++in_batch >= 200) {
+          CDB_RETURN_IF_ERROR(db_->Commit(txn));
+          txn = nullptr;
+        }
+      }
+      if (txn != nullptr) CDB_RETURN_IF_ERROR(db_->Commit(txn));
+    }
+
+    for (uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
+      {
+        auto b = db_->Begin();
+        if (!b.ok()) return b.status();
+        DistrictRow row;
+        row.name = "dist-" + std::to_string(w) + "-" + std::to_string(d);
+        row.tax_bp = static_cast<int64_t>(rng_.Uniform(0, 2000));
+        row.next_o_id = scale_.initial_orders_per_district + 1;
+        CDB_RETURN_IF_ERROR(db_->Put(b.value(), tables_.district,
+                                     DistrictKey(w, d), row.Encode()));
+        CDB_RETURN_IF_ERROR(db_->Commit(b.value()));
+      }
+
+      // Customers.
+      {
+        Transaction* txn = nullptr;
+        int in_batch = 0;
+        for (uint32_t c = 1; c <= scale_.customers_per_district; ++c) {
+          if (txn == nullptr) {
+            auto b = db_->Begin();
+            if (!b.ok()) return b.status();
+            txn = b.value();
+            in_batch = 0;
+          }
+          CustomerRow row;
+          row.w = w;
+          row.d = d;
+          // Spec-style shared last names: several customers per name.
+          row.last_name = "NAME" + std::to_string(c % 10);
+          row.credit = rng_.Percent(10) ? "BC" : "GC";
+          row.data = rng_.AString(60, 120);
+          CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.customer,
+                                       CustomerKey(w, d, c), row.Encode()));
+          if (++in_batch >= 100) {
+            CDB_RETURN_IF_ERROR(db_->Commit(txn));
+            txn = nullptr;
+          }
+        }
+        if (txn != nullptr) CDB_RETURN_IF_ERROR(db_->Commit(txn));
+      }
+
+      // Initial orders: one per customer (permuted), last third undelivered.
+      {
+        std::vector<uint32_t> cust_perm(scale_.initial_orders_per_district);
+        for (uint32_t o = 0; o < cust_perm.size(); ++o) {
+          cust_perm[o] =
+              1 + static_cast<uint32_t>(
+                      rng_.Uniform(1, scale_.customers_per_district)) -
+              1;
+        }
+        for (uint32_t o = 1; o <= scale_.initial_orders_per_district; ++o) {
+          auto b = db_->Begin();
+          if (!b.ok()) return b.status();
+          Transaction* txn = b.value();
+          uint32_t c = 1 + cust_perm[o - 1] % scale_.customers_per_district;
+          bool undelivered =
+              o > (2 * scale_.initial_orders_per_district) / 3;
+          OrderRow order;
+          order.c_id = c;
+          order.entry_d = db_->Now();
+          order.carrier_id =
+              undelivered ? 0
+                          : static_cast<uint32_t>(rng_.Uniform(1, 10));
+          order.ol_cnt = static_cast<uint32_t>(rng_.Uniform(5, 15));
+          CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.order, OrderKey(w, d, o),
+                                       order.Encode()));
+          std::string last;
+          PutFixed32(&last, o);
+          CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.cust_last_order,
+                                       CustomerLastOrderKey(w, d, c), last));
+          if (undelivered) {
+            CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.new_order,
+                                         NewOrderKey(w, d, o), ""));
+          }
+          std::set<uint32_t> seen_items;
+          for (uint32_t ol = 1; ol <= order.ol_cnt; ++ol) {
+            uint32_t i_id = rng_.ItemId(scale_.items);
+            while (!seen_items.insert(i_id).second) {
+              i_id = 1 + (i_id % scale_.items);
+            }
+            OrderLineRow line;
+            line.i_id = i_id;
+            line.supply_w = w;
+            line.quantity = 5;
+            line.amount_cents =
+                undelivered ? static_cast<int64_t>(rng_.Uniform(1, 999999))
+                            : 0;
+            line.delivery_d = undelivered ? 0 : order.entry_d;
+            line.dist_info = rng_.AString(24, 24);
+            CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.order_line,
+                                         OrderLineKey(w, d, o, ol),
+                                         line.Encode()));
+          }
+          CDB_RETURN_IF_ERROR(db_->Commit(txn));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace complydb

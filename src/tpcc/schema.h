@@ -1,0 +1,135 @@
+#ifndef COMPLYDB_TPCC_SCHEMA_H_
+#define COMPLYDB_TPCC_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace complydb {
+namespace tpcc {
+
+/// Scaled-down TPC-C cardinalities. Defaults are ~1/100 of the spec so a
+/// full benchmark run fits a laptop; the *shape* of the workload (skewed
+/// STOCK updates, uniform ORDER_LINE inserts, the standard mix) is
+/// unchanged. Scale up via these knobs to approach the paper's 10-WH
+/// (2.5 GB) configuration.
+struct Scale {
+  uint32_t warehouses = 1;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 30;   // spec: 3000
+  uint32_t items = 1000;                  // spec: 100000
+  uint32_t initial_orders_per_district = 30;  // spec: 3000
+};
+
+/// Table names (each is one complydb tree).
+inline constexpr const char* kWarehouse = "WAREHOUSE";
+inline constexpr const char* kDistrict = "DISTRICT";
+inline constexpr const char* kCustomer = "CUSTOMER";
+inline constexpr const char* kHistory = "HISTORY";
+inline constexpr const char* kNewOrder = "NEW_ORDER";
+inline constexpr const char* kOrder = "ORDER";
+inline constexpr const char* kOrderLine = "ORDER_LINE";
+inline constexpr const char* kItem = "ITEM";
+inline constexpr const char* kStock = "STOCK";
+inline constexpr const char* kCustomerLastOrder = "CUST_LAST_ORDER";
+
+// --- composite big-endian keys (byte order == numeric order) ---
+
+std::string WarehouseKey(uint32_t w);
+std::string DistrictKey(uint32_t w, uint32_t d);
+std::string CustomerKey(uint32_t w, uint32_t d, uint32_t c);
+std::string HistoryKey(uint32_t w, uint32_t d, uint32_t c, uint64_t seq);
+std::string NewOrderKey(uint32_t w, uint32_t d, uint32_t o);
+std::string OrderKey(uint32_t w, uint32_t d, uint32_t o);
+std::string OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t ol);
+std::string ItemKey(uint32_t i);
+std::string StockKey(uint32_t w, uint32_t i);
+std::string CustomerLastOrderKey(uint32_t w, uint32_t d, uint32_t c);
+
+// --- row payloads ---
+
+struct WarehouseRow {
+  std::string name;
+  int64_t tax_bp = 0;   // basis points
+  int64_t ytd_cents = 0;
+  std::string Encode() const;
+  static Status Decode(Slice data, WarehouseRow* out);
+};
+
+struct DistrictRow {
+  std::string name;
+  int64_t tax_bp = 0;
+  int64_t ytd_cents = 0;
+  uint32_t next_o_id = 1;
+  std::string Encode() const;
+  static Status Decode(Slice data, DistrictRow* out);
+};
+
+struct CustomerRow {
+  uint32_t w = 0;           // C_W_ID (also in the key; rows carry it per spec)
+  uint32_t d = 0;           // C_D_ID
+  std::string last_name;
+  std::string credit;       // "GC"/"BC"
+  int64_t balance_cents = -1000;
+  int64_t ytd_payment_cents = 1000;
+  uint32_t payment_cnt = 1;
+  uint32_t delivery_cnt = 0;
+  std::string data;
+  std::string Encode() const;
+  static Status Decode(Slice data, CustomerRow* out);
+};
+
+struct HistoryRow {
+  uint32_t c_w = 0, c_d = 0, c_id = 0;
+  int64_t amount_cents = 0;
+  uint64_t date = 0;
+  std::string data;
+  std::string Encode() const;
+  static Status Decode(Slice data, HistoryRow* out);
+};
+
+struct OrderRow {
+  uint32_t c_id = 0;
+  uint64_t entry_d = 0;
+  uint32_t carrier_id = 0;  // 0 = not delivered
+  uint32_t ol_cnt = 0;
+  bool all_local = true;
+  std::string Encode() const;
+  static Status Decode(Slice data, OrderRow* out);
+};
+
+struct OrderLineRow {
+  uint32_t i_id = 0;
+  uint32_t supply_w = 0;
+  uint32_t quantity = 0;
+  int64_t amount_cents = 0;
+  uint64_t delivery_d = 0;  // 0 = pending
+  std::string dist_info;
+  std::string Encode() const;
+  static Status Decode(Slice data, OrderLineRow* out);
+};
+
+struct ItemRow {
+  std::string name;
+  int64_t price_cents = 0;
+  std::string data;
+  std::string Encode() const;
+  static Status Decode(Slice data, ItemRow* out);
+};
+
+struct StockRow {
+  int32_t quantity = 0;
+  int64_t ytd = 0;
+  uint32_t order_cnt = 0;
+  uint32_t remote_cnt = 0;
+  std::string dist_info;
+  std::string Encode() const;
+  static Status Decode(Slice data, StockRow* out);
+};
+
+}  // namespace tpcc
+}  // namespace complydb
+
+#endif  // COMPLYDB_TPCC_SCHEMA_H_

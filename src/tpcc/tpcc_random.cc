@@ -1,0 +1,52 @@
+#include "tpcc/tpcc_random.h"
+
+namespace complydb {
+namespace tpcc {
+
+namespace {
+// Spec clause 2.1.6.1: C is a per-run constant; fixed here for
+// reproducibility.
+constexpr uint32_t kCItem = 7911;
+constexpr uint32_t kCCustomer = 259;
+}  // namespace
+
+uint32_t TpccRandom::NURand(uint32_t a, uint32_t x, uint32_t y) {
+  uint32_t c = (a == 8191) ? kCItem : kCCustomer;
+  uint64_t lhs = rng_.Range(0, a);
+  uint64_t rhs = rng_.Range(x, y);
+  return static_cast<uint32_t>((((lhs | rhs) + c) % (y - x + 1)) + x);
+}
+
+uint32_t TpccRandom::ItemId(uint32_t items) {
+  // Spec: NURand(8191, 1, 100000); preserve the skew profile by scaling
+  // the A parameter with the cardinality (A ~ items/12).
+  if (items >= 100000) return NURand(8191, 1, items);
+  uint32_t a = items / 12;
+  if (a < 15) a = 15;
+  uint64_t lhs = rng_.Range(0, a);
+  uint64_t rhs = rng_.Range(1, items);
+  return static_cast<uint32_t>((((lhs | rhs) + kCItem) % items) + 1);
+}
+
+uint32_t TpccRandom::CustomerId(uint32_t customers) {
+  if (customers >= 3000) return NURand(1023, 1, customers);
+  uint32_t a = customers / 3;
+  if (a < 7) a = 7;
+  uint64_t lhs = rng_.Range(0, a);
+  uint64_t rhs = rng_.Range(1, customers);
+  return static_cast<uint32_t>((((lhs | rhs) + kCCustomer) % customers) + 1);
+}
+
+std::string TpccRandom::AString(size_t min_len, size_t max_len) {
+  size_t len = min_len + rng_.Uniform(max_len - min_len + 1);
+  return rng_.Bytes(len);
+}
+
+std::string TpccRandom::NString(size_t len) {
+  std::string s(len, '0');
+  for (auto& c : s) c = static_cast<char>('0' + rng_.Uniform(10));
+  return s;
+}
+
+}  // namespace tpcc
+}  // namespace complydb

@@ -1,0 +1,46 @@
+#ifndef COMPLYDB_TPCC_TPCC_RANDOM_H_
+#define COMPLYDB_TPCC_TPCC_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace complydb {
+namespace tpcc {
+
+/// TPC-C random primitives (clause 2.1.6): the non-uniform NURand
+/// distribution is what skews item/customer selection — the source of the
+/// STOCK-relation update skew that drives Fig. 4(a).
+class TpccRandom {
+ public:
+  explicit TpccRandom(uint64_t seed) : rng_(seed) {}
+
+  uint64_t Uniform(uint64_t lo, uint64_t hi) { return rng_.Range(lo, hi); }
+
+  /// NURand(A, x, y) per the spec, with the fixed C constants.
+  uint32_t NURand(uint32_t a, uint32_t x, uint32_t y);
+
+  /// Item id in [1, items] (NURand 8191 in the spec; scaled to the item
+  /// cardinality).
+  uint32_t ItemId(uint32_t items);
+
+  /// Customer id in [1, customers] (NURand 1023, scaled).
+  uint32_t CustomerId(uint32_t customers);
+
+  std::string AString(size_t min_len, size_t max_len);
+  std::string NString(size_t len);
+
+  /// Percentage check: true with probability pct/100.
+  bool Percent(uint32_t pct) { return rng_.Uniform(100) < pct; }
+
+  Random* raw() { return &rng_; }
+
+ private:
+  Random rng_;
+};
+
+}  // namespace tpcc
+}  // namespace complydb
+
+#endif  // COMPLYDB_TPCC_TPCC_RANDOM_H_

@@ -1,0 +1,359 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/coding.h"
+#include "tpcc/workload.h"
+
+namespace complydb {
+namespace tpcc {
+
+Status Workload::SelectCustomer(uint32_t w, uint32_t d, uint32_t* c_id) {
+  if (!rng_.Percent(60) || tables_.customer_by_name == 0) {
+    *c_id = rng_.CustomerId(scale_.customers_per_district);
+    return Status::OK();
+  }
+  // By last name (clause 2.5.1.2): collect the matches and take the one
+  // at position ceil(n/2) in primary-key order.
+  uint32_t name_c = rng_.CustomerId(scale_.customers_per_district);
+  char prefix[20];
+  std::snprintf(prefix, sizeof(prefix), "%08x%08x", w, d);
+  std::string secondary =
+      std::string(prefix) + "NAME" + std::to_string(name_c % 10);
+  std::vector<uint32_t> matches;
+  CDB_RETURN_IF_ERROR(
+      db_->ScanIndex(tables_.customer_by_name, secondary,
+                     [&](Slice primary) {
+                       // CustomerKey = w,d,c big-endian (12 bytes).
+                       if (primary.size() == 12) {
+                         matches.push_back(
+                             DecodeBigEndian32(primary.data() + 8));
+                       }
+                       return Status::OK();
+                     }));
+  if (matches.empty()) {
+    *c_id = rng_.CustomerId(scale_.customers_per_district);
+    return Status::OK();
+  }
+  *c_id = matches[(matches.size() + 1) / 2 - 1];
+  return Status::OK();
+}
+
+Status Workload::NewOrder(bool* committed) {
+  *committed = false;
+  uint32_t w = RandomWarehouse();
+  uint32_t d = RandomDistrict();
+  uint32_t c = rng_.CustomerId(scale_.customers_per_district);
+  uint32_t ol_cnt = static_cast<uint32_t>(rng_.Uniform(5, 15));
+  bool rollback = rng_.Percent(1);  // clause 2.4.1.4
+
+  // Pick items up front, coalescing duplicates (one STOCK write per key).
+  std::map<uint32_t, uint32_t> item_qty;  // i_id -> quantity
+  for (uint32_t i = 0; i < ol_cnt; ++i) {
+    uint32_t i_id = rng_.ItemId(scale_.items);
+    item_qty[i_id] += static_cast<uint32_t>(rng_.Uniform(1, 10));
+  }
+
+  auto begin = db_->Begin();
+  if (!begin.ok()) return begin.status();
+  Transaction* txn = begin.value();
+
+  std::string raw;
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.warehouse, WarehouseKey(w), &raw));
+  WarehouseRow warehouse;
+  CDB_RETURN_IF_ERROR(WarehouseRow::Decode(raw, &warehouse));
+
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.district, DistrictKey(w, d), &raw));
+  DistrictRow district;
+  CDB_RETURN_IF_ERROR(DistrictRow::Decode(raw, &district));
+  uint32_t o_id = district.next_o_id;
+  district.next_o_id = o_id + 1;
+  CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.district, DistrictKey(w, d),
+                               district.Encode()));
+
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.customer, CustomerKey(w, d, c), &raw));
+
+  OrderRow order;
+  order.c_id = c;
+  order.entry_d = db_->Now();
+  order.carrier_id = 0;
+  order.ol_cnt = static_cast<uint32_t>(item_qty.size());
+  CDB_RETURN_IF_ERROR(
+      db_->Put(txn, tables_.order, OrderKey(w, d, o_id), order.Encode()));
+  CDB_RETURN_IF_ERROR(
+      db_->Put(txn, tables_.new_order, NewOrderKey(w, d, o_id), ""));
+  std::string last;
+  PutFixed32(&last, o_id);
+  CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.cust_last_order,
+                               CustomerLastOrderKey(w, d, c), last));
+
+  uint32_t ol = 0;
+  size_t processed = 0;
+  for (const auto& [i_id, qty] : item_qty) {
+    ++processed;
+    // The rollback case: the final item is unused (invalid id).
+    uint32_t lookup =
+        (rollback && processed == item_qty.size()) ? scale_.items + 7777
+                                                   : i_id;
+    Status item_status = db_->Get(tables_.item, ItemKey(lookup), &raw);
+    if (item_status.IsNotFound()) {
+      CDB_RETURN_IF_ERROR(db_->Abort(txn));
+      return Status::OK();  // committed stays false
+    }
+    CDB_RETURN_IF_ERROR(item_status);
+    ItemRow item;
+    CDB_RETURN_IF_ERROR(ItemRow::Decode(raw, &item));
+
+    // 1% remote warehouse (only meaningful with >1 warehouse).
+    uint32_t supply_w = w;
+    if (scale_.warehouses > 1 && rng_.Percent(1)) {
+      do {
+        supply_w = RandomWarehouse();
+      } while (supply_w == w);
+    }
+
+    CDB_RETURN_IF_ERROR(
+        db_->Get(tables_.stock, StockKey(supply_w, i_id), &raw));
+    StockRow stock;
+    CDB_RETURN_IF_ERROR(StockRow::Decode(raw, &stock));
+    if (stock.quantity >= static_cast<int32_t>(qty) + 10) {
+      stock.quantity -= static_cast<int32_t>(qty);
+    } else {
+      stock.quantity += 91 - static_cast<int32_t>(qty);
+    }
+    stock.ytd += qty;
+    stock.order_cnt += 1;
+    if (supply_w != w) stock.remote_cnt += 1;
+    CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.stock,
+                                 StockKey(supply_w, i_id), stock.Encode()));
+
+    OrderLineRow line;
+    line.i_id = i_id;
+    line.supply_w = supply_w;
+    line.quantity = qty;
+    line.amount_cents = item.price_cents * qty;
+    line.dist_info = "dist-info-24-bytes-pad.";
+    CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.order_line,
+                                 OrderLineKey(w, d, o_id, ++ol),
+                                 line.Encode()));
+  }
+
+  CDB_RETURN_IF_ERROR(db_->Commit(txn));
+  *committed = true;
+  return Status::OK();
+}
+
+Status Workload::Payment() {
+  uint32_t w = RandomWarehouse();
+  uint32_t d = RandomDistrict();
+  // 85% local customer, 15% remote (with >1 warehouse).
+  uint32_t c_w = w;
+  uint32_t c_d = d;
+  if (scale_.warehouses > 1 && rng_.Percent(15)) {
+    do {
+      c_w = RandomWarehouse();
+    } while (c_w == w);
+    c_d = RandomDistrict();
+  }
+  uint32_t c = 0;
+  CDB_RETURN_IF_ERROR(SelectCustomer(c_w, c_d, &c));
+  int64_t amount = static_cast<int64_t>(rng_.Uniform(100, 500000));
+
+  auto begin = db_->Begin();
+  if (!begin.ok()) return begin.status();
+  Transaction* txn = begin.value();
+
+  std::string raw;
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.warehouse, WarehouseKey(w), &raw));
+  WarehouseRow warehouse;
+  CDB_RETURN_IF_ERROR(WarehouseRow::Decode(raw, &warehouse));
+  warehouse.ytd_cents += amount;
+  CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.warehouse, WarehouseKey(w),
+                               warehouse.Encode()));
+
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.district, DistrictKey(w, d), &raw));
+  DistrictRow district;
+  CDB_RETURN_IF_ERROR(DistrictRow::Decode(raw, &district));
+  district.ytd_cents += amount;
+  CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.district, DistrictKey(w, d),
+                               district.Encode()));
+
+  CDB_RETURN_IF_ERROR(
+      db_->Get(tables_.customer, CustomerKey(c_w, c_d, c), &raw));
+  CustomerRow customer;
+  CDB_RETURN_IF_ERROR(CustomerRow::Decode(raw, &customer));
+  customer.balance_cents -= amount;
+  customer.ytd_payment_cents += amount;
+  customer.payment_cnt += 1;
+  if (customer.credit == "BC") {
+    customer.data =
+        std::to_string(c) + "," + std::to_string(c_d) + "," +
+        std::to_string(c_w) + "," + std::to_string(d) + "," +
+        std::to_string(w) + "," + std::to_string(amount) + "|" +
+        customer.data.substr(0, 400);
+  }
+  CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.customer,
+                               CustomerKey(c_w, c_d, c), customer.Encode()));
+
+  HistoryRow history;
+  history.c_w = c_w;
+  history.c_d = c_d;
+  history.c_id = c;
+  history.amount_cents = amount;
+  history.date = db_->Now();
+  history.data = warehouse.name + "    " + district.name;
+  CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.history,
+                               HistoryKey(w, d, c, rng_.raw()->Next()),
+                               history.Encode()));
+
+  return db_->Commit(txn);
+}
+
+Status Workload::OrderStatus() {
+  uint32_t w = RandomWarehouse();
+  uint32_t d = RandomDistrict();
+  uint32_t c = 0;
+  CDB_RETURN_IF_ERROR(SelectCustomer(w, d, &c));
+
+  std::string raw;
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.customer, CustomerKey(w, d, c), &raw));
+  CustomerRow customer;
+  CDB_RETURN_IF_ERROR(CustomerRow::Decode(raw, &customer));
+
+  Status s = db_->Get(tables_.cust_last_order,
+                      CustomerLastOrderKey(w, d, c), &raw);
+  if (s.IsNotFound()) return Status::OK();  // customer never ordered
+  CDB_RETURN_IF_ERROR(s);
+  uint32_t o_id = DecodeFixed32(raw.data());
+
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.order, OrderKey(w, d, o_id), &raw));
+  OrderRow order;
+  CDB_RETURN_IF_ERROR(OrderRow::Decode(raw, &order));
+
+  // Read the order's lines.
+  std::string begin_key = OrderLineKey(w, d, o_id, 0);
+  std::string end_key = OrderLineKey(w, d, o_id + 1, 0);
+  size_t lines = 0;
+  CDB_RETURN_IF_ERROR(db_->tree(tables_.order_line)
+                          ->ScanRangeCurrent(begin_key, end_key,
+                                             [&](const TupleData&) {
+                                               ++lines;
+                                               return Status::OK();
+                                             }));
+  return Status::OK();
+}
+
+Status Workload::Delivery() {
+  uint32_t w = RandomWarehouse();
+  uint32_t carrier = static_cast<uint32_t>(rng_.Uniform(1, 10));
+
+  for (uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
+    // Oldest undelivered order in this district.
+    uint32_t o_id = 0;
+    bool found = false;
+    std::string begin_key = NewOrderKey(w, d, 0);
+    std::string end_key = NewOrderKey(w, d + 1, 0);
+    CDB_RETURN_IF_ERROR(
+        db_->tree(tables_.new_order)
+            ->ScanRangeCurrent(begin_key, end_key,
+                               [&](const TupleData& t) {
+                                 o_id = DecodeBigEndian32(t.key.data() + 8);
+                                 found = true;
+                                 return Status::Busy("stop");
+                               }));
+    if (!found) continue;
+
+    auto begin = db_->Begin();
+    if (!begin.ok()) return begin.status();
+    Transaction* txn = begin.value();
+
+    CDB_RETURN_IF_ERROR(
+        db_->Delete(txn, tables_.new_order, NewOrderKey(w, d, o_id)));
+
+    std::string raw;
+    CDB_RETURN_IF_ERROR(db_->Get(tables_.order, OrderKey(w, d, o_id), &raw));
+    OrderRow order;
+    CDB_RETURN_IF_ERROR(OrderRow::Decode(raw, &order));
+    order.carrier_id = carrier;
+    CDB_RETURN_IF_ERROR(
+        db_->Put(txn, tables_.order, OrderKey(w, d, o_id), order.Encode()));
+
+    // Stamp every line delivered and sum the amounts.
+    int64_t total = 0;
+    std::vector<std::pair<std::string, OrderLineRow>> lines;
+    std::string ol_begin = OrderLineKey(w, d, o_id, 0);
+    std::string ol_end = OrderLineKey(w, d, o_id + 1, 0);
+    CDB_RETURN_IF_ERROR(db_->tree(tables_.order_line)
+                            ->ScanRangeCurrent(
+                                ol_begin, ol_end,
+                                [&](const TupleData& t) {
+                                  OrderLineRow line;
+                                  Status ds =
+                                      OrderLineRow::Decode(t.value, &line);
+                                  if (!ds.ok()) return ds;
+                                  lines.emplace_back(t.key, line);
+                                  return Status::OK();
+                                }));
+    uint64_t now = db_->Now();
+    for (auto& [key, line] : lines) {
+      total += line.amount_cents;
+      line.delivery_d = now;
+      CDB_RETURN_IF_ERROR(
+          db_->Put(txn, tables_.order_line, key, line.Encode()));
+    }
+
+    CDB_RETURN_IF_ERROR(
+        db_->Get(tables_.customer, CustomerKey(w, d, order.c_id), &raw));
+    CustomerRow customer;
+    CDB_RETURN_IF_ERROR(CustomerRow::Decode(raw, &customer));
+    customer.balance_cents += total;
+    customer.delivery_cnt += 1;
+    CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.customer,
+                                 CustomerKey(w, d, order.c_id),
+                                 customer.Encode()));
+    CDB_RETURN_IF_ERROR(db_->Commit(txn));
+  }
+  return Status::OK();
+}
+
+Status Workload::StockLevel() {
+  uint32_t w = RandomWarehouse();
+  uint32_t d = RandomDistrict();
+  int32_t threshold = static_cast<int32_t>(rng_.Uniform(10, 20));
+
+  std::string raw;
+  CDB_RETURN_IF_ERROR(db_->Get(tables_.district, DistrictKey(w, d), &raw));
+  DistrictRow district;
+  CDB_RETURN_IF_ERROR(DistrictRow::Decode(raw, &district));
+
+  uint32_t from =
+      district.next_o_id > 20 ? district.next_o_id - 20 : 1;
+  std::set<uint32_t> items;
+  std::string begin_key = OrderLineKey(w, d, from, 0);
+  std::string end_key = OrderLineKey(w, d, district.next_o_id, 0);
+  CDB_RETURN_IF_ERROR(db_->tree(tables_.order_line)
+                          ->ScanRangeCurrent(
+                              begin_key, end_key,
+                              [&](const TupleData& t) {
+                                OrderLineRow line;
+                                Status ds =
+                                    OrderLineRow::Decode(t.value, &line);
+                                if (!ds.ok()) return ds;
+                                items.insert(line.i_id);
+                                return Status::OK();
+                              }));
+  size_t low = 0;
+  for (uint32_t i_id : items) {
+    Status s = db_->Get(tables_.stock, StockKey(w, i_id), &raw);
+    if (s.IsNotFound()) continue;
+    CDB_RETURN_IF_ERROR(s);
+    StockRow stock;
+    CDB_RETURN_IF_ERROR(StockRow::Decode(raw, &stock));
+    if (stock.quantity < threshold) ++low;
+  }
+  (void)low;  // the spec reports the count; nothing consumes it here
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace complydb

@@ -1,0 +1,98 @@
+#ifndef COMPLYDB_TPCC_WORKLOAD_H_
+#define COMPLYDB_TPCC_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "db/compliant_db.h"
+#include "tpcc/schema.h"
+#include "tpcc/tpcc_random.h"
+
+namespace complydb {
+namespace tpcc {
+
+/// Tree ids of the nine TPC-C relations plus the last-order side table.
+struct Tables {
+  uint32_t warehouse = 0;
+  uint32_t district = 0;
+  uint32_t customer = 0;
+  uint32_t history = 0;
+  uint32_t new_order = 0;
+  uint32_t order = 0;
+  uint32_t order_line = 0;
+  uint32_t item = 0;
+  uint32_t stock = 0;
+  uint32_t cust_last_order = 0;
+  uint32_t customer_by_name = 0;  // secondary index (clause 2.5.1.2)
+};
+
+struct MixStats {
+  uint64_t new_order = 0;
+  uint64_t payment = 0;
+  uint64_t order_status = 0;
+  uint64_t delivery = 0;
+  uint64_t stock_level = 0;
+  uint64_t rollbacks = 0;  // the 1% NewOrder rollback of clause 2.4.1.4
+
+  uint64_t total() const {
+    return new_order + payment + order_status + delivery + stock_level;
+  }
+};
+
+/// TPC-C atop the compliant DBMS: full five-transaction workload at the
+/// standard mix (45/43/4/4/4), the NURand skew, and the 1% NewOrder
+/// rollback — the paper's evaluation workload (§VII), scaled by `Scale`.
+///
+/// Deviations from the letter of the spec (documented in DESIGN.md):
+/// customer selection is always by id (no last-name secondary index), and
+/// OrderStatus locates a customer's last order through a maintained
+/// side table instead of a reverse index scan. Duplicate items within one
+/// NewOrder are coalesced (one STOCK write per key per transaction).
+class Workload {
+ public:
+  Workload(CompliantDB* db, const Scale& scale, uint64_t seed)
+      : db_(db), scale_(scale), rng_(seed) {}
+
+  /// Creates the relations (fresh database) or resolves existing ones.
+  Status CreateOrAttachTables();
+
+  /// Populates per clause 4.3 (scaled). Call once on a fresh database.
+  Status Load();
+
+  // Single-transaction executions. NewOrder reports whether it committed
+  // (false = the intentional 1% rollback).
+  Status NewOrder(bool* committed);
+  Status Payment();
+  Status OrderStatus();
+  Status Delivery();
+  Status StockLevel();
+
+  /// Runs `num_txns` transactions at the standard mix.
+  Status RunMix(uint64_t num_txns, MixStats* stats);
+
+  const Tables& tables() const { return tables_; }
+  const Scale& scale() const { return scale_; }
+  TpccRandom* rng() { return &rng_; }
+
+ private:
+  /// Customer selection per clause 2.5.1.2: 60% by last name through the
+  /// secondary index (middle match), 40% by id (NURand).
+  Status SelectCustomer(uint32_t w, uint32_t d, uint32_t* c_id);
+
+  uint32_t RandomWarehouse() {
+    return static_cast<uint32_t>(rng_.Uniform(1, scale_.warehouses));
+  }
+  uint32_t RandomDistrict() {
+    return static_cast<uint32_t>(
+        rng_.Uniform(1, scale_.districts_per_warehouse));
+  }
+
+  CompliantDB* db_;
+  Scale scale_;
+  TpccRandom rng_;
+  Tables tables_;
+};
+
+}  // namespace tpcc
+}  // namespace complydb
+
+#endif  // COMPLYDB_TPCC_WORKLOAD_H_

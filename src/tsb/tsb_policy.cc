@@ -1,0 +1,121 @@
+#include "tsb/tsb_policy.h"
+
+#include <cstring>
+
+#include "compliance/compliance_log.h"
+
+namespace complydb {
+
+SplitKind TimeSplitPolicy::Decide(const Page& leaf) {
+  uint16_t count = leaf.slot_count();
+  if (count == 0) return SplitKind::kKeySplit;
+  size_t distinct = 0;
+  std::string prev_key;
+  bool has_prev = false;
+  for (uint16_t i = 0; i < count; ++i) {
+    Slice key;
+    uint64_t start = 0;
+    if (!DecodeTupleKey(leaf.RecordAt(i), &key, &start).ok()) {
+      return SplitKind::kKeySplit;
+    }
+    if (!has_prev || key.view() != prev_key) {
+      ++distinct;
+      prev_key = key.ToString();
+      has_prev = true;
+    }
+  }
+  double fraction = static_cast<double>(distinct) / count;
+  return fraction < threshold_ ? SplitKind::kTimeSplit : SplitKind::kKeySplit;
+}
+
+Status HistoricalStore::LoadAll() {
+  for (const auto& name : worm_->ListPrefix("hist_")) {
+    std::string blob;
+    CDB_RETURN_IF_ERROR(worm_->ReadAll(name, &blob));
+    if (blob.size() != kPageSize) {
+      return Status::Corruption("historical page " + name + " wrong size");
+    }
+    Page image;
+    std::memcpy(image.data(), blob.data(), kPageSize);
+    // Name format: hist_<tree8>_<seq8>.
+    uint32_t tree_id = image.tree_id();
+    uint64_t seq = 0;
+    if (name.size() >= 22) {
+      seq = std::strtoull(name.c_str() + 14, nullptr, 10);
+    }
+    if (seq >= next_seq_[tree_id]) next_seq_[tree_id] = seq + 1;
+    CDB_RETURN_IF_ERROR(IndexPage(tree_id, name, image));
+  }
+  return Status::OK();
+}
+
+Status HistoricalStore::IndexPage(uint32_t tree_id, const std::string& name,
+                                  const Page& image) {
+  CDB_RETURN_IF_ERROR(image.CheckStructure());
+  FileInfo& info = files_[name];
+  info.tree_id = tree_id;
+  for (uint16_t i = 0; i < image.slot_count(); ++i) {
+    TupleData t;
+    CDB_RETURN_IF_ERROR(DecodeTuple(image.RecordAt(i), &t));
+    index_[{tree_id, t.key}].push_back(t);
+    info.tuples.push_back(t);
+    ++tuple_count_;
+  }
+  ++page_count_;
+  return Status::OK();
+}
+
+std::vector<std::string> HistoricalStore::FilesFor(uint32_t tree_id) const {
+  std::vector<std::string> names;
+  for (const auto& [name, info] : files_) {
+    if (info.tree_id == tree_id) names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<TupleData> HistoricalStore::FileTuples(
+    const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return {};
+  return it->second.tuples;
+}
+
+Status HistoricalStore::DropFile(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such historical file");
+  for (const auto& t : it->second.tuples) {
+    auto key_it = index_.find({it->second.tree_id, t.key});
+    if (key_it == index_.end()) continue;
+    auto& versions = key_it->second;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      if (versions[i].start == t.start) {
+        versions.erase(versions.begin() + i);
+        --tuple_count_;
+        break;
+      }
+    }
+    if (versions.empty()) index_.erase(key_it);
+  }
+  files_.erase(it);
+  --page_count_;
+  return Status::OK();
+}
+
+Result<std::string> HistoricalStore::WriteHistoricalPage(uint32_t tree_id,
+                                                         const Page& image) {
+  uint64_t seq = next_seq_[tree_id]++;
+  std::string name = HistPageFileName(tree_id, seq);
+  CDB_RETURN_IF_ERROR(
+      worm_->CreateWithContent(name, 0, Slice(image.data(), kPageSize)));
+  CDB_RETURN_IF_ERROR(IndexPage(tree_id, name, image));
+  return name;
+}
+
+std::vector<TupleData> HistoricalStore::GetVersions(uint32_t tree_id,
+                                                    Slice key) const {
+  auto it = index_.find({tree_id, key.ToString()});
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+}  // namespace complydb

@@ -1,0 +1,89 @@
+#ifndef COMPLYDB_TSB_TSB_POLICY_H_
+#define COMPLYDB_TSB_TSB_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "btree/split_policy.h"
+#include "btree/tuple.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// The time-split B+-tree split rule (paper §VI, after Lomet & Salzberg):
+/// "if the number of distinct keys in a leaf page is less than the
+/// split-threshold fraction of the total number of tuples, the page is
+/// split on keys; otherwise it is split on time."
+///
+/// A time split migrates superseded (historical) versions to a WORM
+/// historical page; pages dominated by updates to few keys (STOCK-like
+/// skew) time-split even at low thresholds, while uniformly-updated pages
+/// (ORDER_LINE-like) never time-split below threshold 0.5 — the shape of
+/// the paper's Fig. 4.
+class TimeSplitPolicy : public SplitPolicy {
+ public:
+  explicit TimeSplitPolicy(double split_threshold)
+      : threshold_(split_threshold) {}
+
+  SplitKind Decide(const Page& leaf) override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+/// WORM-backed store of historical pages produced by time splits, plus an
+/// in-memory version index so temporal queries still see migrated
+/// versions. (The paper keeps historical pages addressable through the
+/// TSB-tree itself; an in-memory side index over the WORM files preserves
+/// the same visibility with far less machinery — see DESIGN.md.)
+class HistoricalStore : public MigrationSink {
+ public:
+  explicit HistoricalStore(WormStore* worm) : worm_(worm) {}
+
+  /// Loads the index from all hist_* files already on WORM.
+  Status LoadAll();
+
+  // MigrationSink:
+  Result<std::string> WriteHistoricalPage(uint32_t tree_id,
+                                          const Page& image) override;
+
+  /// Historical versions of `key` in `tree_id`, oldest first.
+  std::vector<TupleData> GetVersions(uint32_t tree_id, Slice key) const;
+
+  /// Names of this tree's historical page files still in the index.
+  std::vector<std::string> FilesFor(uint32_t tree_id) const;
+
+  /// Tuples stored in one historical page file.
+  std::vector<TupleData> FileTuples(const std::string& name) const;
+
+  /// Drops a fully-shredded file from the in-memory index (the WORM file
+  /// itself is deleted by the auditor after verifying the shreds, §VIII:
+  /// "the unit of deletion on WORM is an entire file").
+  Status DropFile(const std::string& name);
+
+  uint64_t page_count() const { return page_count_; }
+  uint64_t tuple_count() const { return tuple_count_; }
+
+ private:
+  Status IndexPage(uint32_t tree_id, const std::string& name,
+                   const Page& image);
+
+  WormStore* worm_;
+  std::map<uint32_t, uint64_t> next_seq_;
+  std::map<std::pair<uint32_t, std::string>, std::vector<TupleData>> index_;
+  struct FileInfo {
+    uint32_t tree_id = 0;
+    std::vector<TupleData> tuples;
+  };
+  std::map<std::string, FileInfo> files_;
+  uint64_t page_count_ = 0;
+  uint64_t tuple_count_ = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_TSB_TSB_POLICY_H_

@@ -1,0 +1,31 @@
+#ifndef COMPLYDB_TXN_COMMIT_OBSERVER_H_
+#define COMPLYDB_TXN_COMMIT_OBSERVER_H_
+
+#include "common/status.h"
+#include "wal/log_record.h"
+
+namespace complydb {
+
+/// Transaction-lifecycle notifications consumed by the compliance logger.
+/// The paper's rule (§IV-B): "the compliance logger must wait to write
+/// ABORT and STAMP TRANS records until the transaction has actually
+/// committed/aborted" — so these fire strictly after the WAL commit/abort
+/// record is durable. A non-OK return halts transaction processing (the
+/// compliance log is unavailable).
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+
+  virtual Status OnCommit(TxnId txn_id, uint64_t commit_time) = 0;
+  virtual Status OnAbort(TxnId txn_id) = 0;
+
+  /// Crash recovery started (logs a timestamped START_RECOVERY, §IV-B).
+  virtual Status OnStartRecovery() = 0;
+
+  /// Recovery resolved all in-flight transactions and flushed L.
+  virtual Status OnRecoveryComplete() = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_TXN_COMMIT_OBSERVER_H_

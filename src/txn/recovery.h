@@ -1,0 +1,61 @@
+#ifndef COMPLYDB_TXN_RECOVERY_H_
+#define COMPLYDB_TXN_RECOVERY_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "storage/buffer_cache.h"
+#include "txn/commit_observer.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace complydb {
+
+struct RecoveryReport {
+  size_t records_scanned = 0;
+  size_t redo_applied = 0;
+  size_t losers_undone = 0;
+  size_t committed_found = 0;
+  size_t restamped = 0;
+};
+
+/// ARIES-lite crash recovery: analysis (single WAL scan), redo guarded by
+/// page LSNs, undo of loser transactions with compensation records, then
+/// lazy-stamp completion for all committed transactions (the audit
+/// requires stamped tuples, §IV).
+///
+/// Compliance interplay (paper §IV-B): when `crashed` is true the observer
+/// is told to place a timestamped START_RECOVERY on L, recovery re-appends
+/// STAMP_TRANS for committed transactions and ABORT for losers (duplicates
+/// of pre-crash records are identical, and the auditor ignores identical
+/// duplicates), and loser undo flows to L as ordinary UNDO records via the
+/// pwrite diff.
+class RecoveryManager {
+ public:
+  /// `announce_after_micros`: commits at or before this time belong to
+  /// already-audited epochs (they are in the signed snapshot, not the
+  /// current L) and are not re-announced to the compliance log.
+  RecoveryManager(LogManager* wal, BufferCache* cache,
+                  TransactionManager* txns, CommitObserver* observer = nullptr,
+                  uint64_t announce_after_micros = 0)
+      : wal_(wal),
+        cache_(cache),
+        txns_(txns),
+        observer_(observer),
+        announce_after_(announce_after_micros) {}
+
+  Result<RecoveryReport> Run(bool crashed);
+
+ private:
+  Status ApplyRedo(const WalRecord& rec, size_t* applied);
+
+  LogManager* wal_;
+  BufferCache* cache_;
+  TransactionManager* txns_;
+  CommitObserver* observer_;
+  uint64_t announce_after_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_TXN_RECOVERY_H_

@@ -1,0 +1,146 @@
+#include "wal/log_manager.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/coding.h"
+
+namespace complydb {
+
+Result<LogManager*> LogManager::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("wal open " + path + ": " + std::strerror(errno));
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("wal seek " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("wal tell " + path);
+  }
+  Lsn base = 0;
+  if (size == 0) {
+    // Fresh log: write the base-LSN header.
+    char header[kHeaderSize];
+    EncodeFixed64(header, 0);
+    if (std::fwrite(header, 1, kHeaderSize, f) != kHeaderSize ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      return Status::IOError("wal header write " + path);
+    }
+    size = kHeaderSize;
+  } else if (static_cast<size_t>(size) >= kHeaderSize) {
+    char header[kHeaderSize];
+    std::fseek(f, 0, SEEK_SET);
+    if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize) {
+      std::fclose(f);
+      return Status::IOError("wal header read " + path);
+    }
+    base = DecodeFixed64(header);
+  } else {
+    std::fclose(f);
+    return Status::Corruption("wal shorter than its header: " + path);
+  }
+  Lsn end = base + (static_cast<Lsn>(size) - kHeaderSize);
+  return new LogManager(path, f, base, end);
+}
+
+LogManager::~LogManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Lsn LogManager::Append(WalRecord* rec) {
+  rec->lsn = next_lsn();
+  pending_ += rec->Encode();
+  return rec->lsn;
+}
+
+Status LogManager::FlushTo(Lsn target) {
+  if (target < durable_end_) return Status::OK();
+  return FlushAll();
+}
+
+Status LogManager::FlushAll() {
+  if (pending_.empty()) return Status::OK();
+  if (std::fseek(file_, 0, SEEK_END) != 0) return Status::IOError("wal seek");
+  size_t n = std::fwrite(pending_.data(), 1, pending_.size(), file_);
+  if (n != pending_.size()) return Status::IOError("wal short write");
+  if (std::fflush(file_) != 0) return Status::IOError("wal flush");
+  if (tail_worm_ != nullptr && !tail_name_.empty()) {
+    CDB_RETURN_IF_ERROR(tail_worm_->Append(tail_name_, pending_));
+  }
+  durable_end_ += pending_.size();
+  pending_.clear();
+  return Status::OK();
+}
+
+Status LogManager::Scan(
+    const std::function<Status(const WalRecord&)>& fn) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("wal scan open " + path_);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (blob.size() < kHeaderSize) return Status::OK();
+  // Only durable bytes are authoritative.
+  size_t durable_bytes = kHeaderSize + (durable_end_ - base_lsn_);
+  if (blob.size() > durable_bytes) blob.resize(durable_bytes);
+  size_t off = kHeaderSize;
+  while (off < blob.size()) {
+    // A torn final record (not enough bytes for its frame) ends the scan.
+    if (blob.size() - off < 8) break;
+    uint32_t len = DecodeFixed32(blob.data() + off);
+    if (blob.size() - off < 8 + static_cast<size_t>(len)) break;
+    WalRecord rec;
+    size_t consumed = 0;
+    Status s = WalRecord::Decode(Slice(blob.data() + off, blob.size() - off),
+                                 &rec, &consumed);
+    if (!s.ok()) return s;  // mid-log corruption: surface it
+    rec.lsn = base_lsn_ + (off - kHeaderSize);
+    CDB_RETURN_IF_ERROR(fn(rec));
+    off += consumed;
+  }
+  return Status::OK();
+}
+
+Status LogManager::Truncate() {
+  if (!pending_.empty()) {
+    return Status::Busy("wal truncate with unflushed records");
+  }
+  std::fclose(file_);
+  std::FILE* f = std::fopen(path_.c_str(), "w+b");
+  if (f == nullptr) return Status::IOError("wal truncate reopen " + path_);
+  base_lsn_ = durable_end_;
+  char header[kHeaderSize];
+  EncodeFixed64(header, base_lsn_);
+  if (std::fwrite(header, 1, kHeaderSize, f) != kHeaderSize ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    file_ = nullptr;
+    return Status::IOError("wal truncate header " + path_);
+  }
+  file_ = f;
+  return Status::OK();
+}
+
+Status LogManager::StartTail(WormStore* worm, const std::string& name,
+                             uint64_t retention_micros) {
+  CDB_RETURN_IF_ERROR(FlushAll());
+  if (name.empty()) {
+    tail_worm_ = nullptr;
+    tail_name_.clear();
+    return Status::OK();
+  }
+  std::string header;
+  PutFixed64(&header, durable_end_);
+  CDB_RETURN_IF_ERROR(worm->CreateWithContent(name, retention_micros, header));
+  tail_worm_ = worm;
+  tail_name_ = name;
+  return Status::OK();
+}
+
+}  // namespace complydb

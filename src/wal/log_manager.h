@@ -1,0 +1,89 @@
+#ifndef COMPLYDB_WAL_LOG_MANAGER_H_
+#define COMPLYDB_WAL_LOG_MANAGER_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "wal/log_record.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// The DBMS transaction log. Lives on ordinary read/write media (and is
+/// therefore attackable); its *tail* is mirrored onto WORM so that the
+/// window between a commit and the regret-interval page flush is covered
+/// (paper §IV: "we require the tail (the last two regret intervals) of the
+/// DBMS's transaction log to be kept on WORM").
+///
+/// LSNs are logical byte offsets that survive checkpoint truncation: the
+/// file begins with an 8-byte base LSN, and a record at file offset f has
+/// LSN base + (f - 8). Append buffers in memory; FlushTo makes records
+/// durable and simultaneously mirrors the flushed bytes to the current
+/// WORM tail file, so the WORM copy is always at least as current as the
+/// on-disk log.
+class LogManager {
+ public:
+  static constexpr size_t kHeaderSize = 8;
+
+  static Result<LogManager*> Open(const std::string& path);
+
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Assigns rec->lsn and buffers the record. Not yet durable.
+  Lsn Append(WalRecord* rec);
+
+  /// Makes all records with lsn <= target durable (we flush everything
+  /// pending — group commit).
+  Status FlushTo(Lsn target);
+  Status FlushAll();
+
+  Lsn durable_lsn() const { return durable_end_; }
+  Lsn next_lsn() const { return durable_end_ + pending_.size(); }
+
+  /// Scans durable records in order. Stops cleanly at a torn tail (a
+  /// truncated final record is how crashes manifest); a mid-log CRC
+  /// mismatch is reported as Corruption.
+  Status Scan(const std::function<Status(const WalRecord&)>& fn) const;
+
+  /// Starts mirroring flushed bytes into worm file `name` (created here;
+  /// its first 8 bytes record the starting LSN). Call after FlushAll.
+  /// Passing an empty name stops mirroring.
+  Status StartTail(WormStore* worm, const std::string& name,
+                   uint64_t retention_micros);
+
+  const std::string& tail_name() const { return tail_name_; }
+
+  /// Simulates losing the in-memory buffer in a crash (tests).
+  void DropPending() { pending_.clear(); }
+
+  /// Checkpoint truncation: discards all durable records (callers ensure
+  /// every page they describe is flushed — i.e., right after a successful
+  /// audit). LSNs continue from where they were; recovery after this point
+  /// scans only post-checkpoint records.
+  Status Truncate();
+
+  Lsn base_lsn() const { return base_lsn_; }
+
+ private:
+  LogManager(std::string path, std::FILE* file, Lsn base, Lsn end)
+      : path_(std::move(path)), file_(file), base_lsn_(base),
+        durable_end_(end) {}
+
+  std::string path_;
+  std::FILE* file_;
+  Lsn base_lsn_;
+  Lsn durable_end_;
+  std::string pending_;
+
+  WormStore* tail_worm_ = nullptr;
+  std::string tail_name_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_WAL_LOG_MANAGER_H_

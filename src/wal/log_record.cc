@@ -1,0 +1,56 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace complydb {
+
+std::string WalRecord::Encode() const {
+  std::string payload;
+  payload.push_back(static_cast<char>(type));
+  PutFixed64(&payload, prev_lsn);
+  PutFixed64(&payload, txn_id);
+  PutFixed32(&payload, pgno);
+  PutFixed32(&payload, tree_id);
+  PutFixed16(&payload, order_no);
+  PutFixed64(&payload, commit_time);
+  PutFixed64(&payload, undo_next);
+  PutLengthPrefixed(&payload, tuple);
+  PutLengthPrefixed(&payload, page_image);
+
+  std::string framed;
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&framed, Crc32(payload));
+  framed += payload;
+  return framed;
+}
+
+Status WalRecord::Decode(Slice input, WalRecord* out, size_t* consumed) {
+  Decoder dec(input);
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&len));
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&crc));
+  if (dec.remaining() < len) return Status::Corruption("wal: truncated record");
+  Slice payload(input.data() + 8, len);
+  if (Crc32(payload) != crc) return Status::Corruption("wal: bad record crc");
+
+  Decoder body(payload);
+  std::string type_byte;
+  CDB_RETURN_IF_ERROR(body.GetBytes(1, &type_byte));
+  out->type = static_cast<WalRecordType>(static_cast<uint8_t>(type_byte[0]));
+  CDB_RETURN_IF_ERROR(body.GetFixed64(&out->prev_lsn));
+  CDB_RETURN_IF_ERROR(body.GetFixed64(&out->txn_id));
+  CDB_RETURN_IF_ERROR(body.GetFixed32(&out->pgno));
+  CDB_RETURN_IF_ERROR(body.GetFixed32(&out->tree_id));
+  CDB_RETURN_IF_ERROR(body.GetFixed16(&out->order_no));
+  CDB_RETURN_IF_ERROR(body.GetFixed64(&out->commit_time));
+  CDB_RETURN_IF_ERROR(body.GetFixed64(&out->undo_next));
+  CDB_RETURN_IF_ERROR(body.GetLengthPrefixed(&out->tuple));
+  CDB_RETURN_IF_ERROR(body.GetLengthPrefixed(&out->page_image));
+
+  *consumed = 8 + len;
+  return Status::OK();
+}
+
+}  // namespace complydb

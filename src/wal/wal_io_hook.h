@@ -1,0 +1,28 @@
+#ifndef COMPLYDB_WAL_WAL_IO_HOOK_H_
+#define COMPLYDB_WAL_WAL_IO_HOOK_H_
+
+#include "storage/io_hook.h"
+#include "wal/log_manager.h"
+
+namespace complydb {
+
+/// Write-ahead rule as an IoHook: before any page image reaches disk, the
+/// WAL is flushed through that page's LSN. Registered before the
+/// compliance logger, so the ordering on every pwrite is
+///   WAL durable -> compliance records on WORM -> page bytes on disk.
+class WalFlushHook : public IoHook {
+ public:
+  explicit WalFlushHook(LogManager* log) : log_(log) {}
+
+  Status OnPageRead(PageId, const Page&) override { return Status::OK(); }
+  Status OnPageWrite(PageId, const Page& image) override {
+    return log_->FlushTo(image.lsn());
+  }
+
+ private:
+  LogManager* log_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_WAL_WAL_IO_HOOK_H_

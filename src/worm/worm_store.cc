@@ -1,0 +1,253 @@
+#include "worm/worm_store.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/coding.h"
+
+namespace fs = std::filesystem;
+
+namespace complydb {
+
+namespace {
+constexpr char kMetaFileName[] = "_worm_meta";
+// File names are stored length-prefixed in the meta file; keep them sane.
+constexpr size_t kMaxName = 4096;
+}  // namespace
+
+Result<WormStore*> WormStore::Open(const std::string& dir, Clock* clock) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("worm: cannot create dir " + dir + ": " +
+                           ec.message());
+  }
+  auto* store = new WormStore(dir, clock);
+  Status s = store->LoadMeta();
+  if (!s.ok()) {
+    delete store;
+    return s;
+  }
+  return store;
+}
+
+WormStore::~WormStore() {
+  for (auto& [name, handle] : handles_) {
+    if (handle != nullptr) std::fclose(handle);
+  }
+  (void)SaveMeta();
+}
+
+Result<std::FILE*> WormStore::AppendHandle(const std::string& name) {
+  auto it = handles_.find(name);
+  if (it != handles_.end()) return it->second;
+  std::FILE* f = std::fopen(PathFor(name).c_str(), "ab");
+  if (f == nullptr) return Status::IOError("worm: append open " + name);
+  handles_[name] = f;
+  return f;
+}
+
+std::string WormStore::PathFor(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Status WormStore::Violation(const std::string& what) const {
+  ++violations_;
+  return Status::WormViolation(what);
+}
+
+Status WormStore::LoadMeta() {
+  std::ifstream in(PathFor(kMetaFileName), std::ios::binary);
+  if (!in.is_open()) return Status::OK();  // fresh store
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Decoder dec(blob);
+  uint32_t count = 0;
+  CDB_RETURN_IF_ERROR(dec.GetFixed32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    WormFileInfo info;
+    CDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&name));
+    if (name.size() > kMaxName) return Status::Corruption("worm meta name");
+    CDB_RETURN_IF_ERROR(dec.GetFixed64(&info.create_time_micros));
+    CDB_RETURN_IF_ERROR(dec.GetFixed64(&info.retention_micros));
+    CDB_RETURN_IF_ERROR(dec.GetFixed64(&info.size));
+    std::string released;
+    CDB_RETURN_IF_ERROR(dec.GetBytes(1, &released));
+    info.released = released[0] != 0;
+    // Reconcile with the actual file (appends persist sizes lazily).
+    std::error_code ec;
+    auto actual = fs::file_size(PathFor(name), ec);
+    if (!ec && actual > info.size) info.size = actual;
+    meta_[name] = info;
+  }
+  return Status::OK();
+}
+
+Status WormStore::SaveMeta() const {
+  std::string blob;
+  PutFixed32(&blob, static_cast<uint32_t>(meta_.size()));
+  for (const auto& [name, info] : meta_) {
+    PutLengthPrefixed(&blob, name);
+    PutFixed64(&blob, info.create_time_micros);
+    PutFixed64(&blob, info.retention_micros);
+    PutFixed64(&blob, info.size);
+    blob.push_back(info.released ? 1 : 0);
+  }
+  std::string tmp = PathFor(std::string(kMetaFileName) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IOError("worm meta write");
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out.good()) return Status::IOError("worm meta flush");
+  }
+  std::error_code ec;
+  fs::rename(tmp, PathFor(kMetaFileName), ec);
+  if (ec) return Status::IOError("worm meta rename: " + ec.message());
+  return Status::OK();
+}
+
+Status WormStore::Create(const std::string& name, uint64_t retention_micros) {
+  if (name.empty() || name == kMetaFileName || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("worm: bad file name: " + name);
+  }
+  if (meta_.count(name) > 0) {
+    return Violation("worm: create-over-existing refused: " + name);
+  }
+  std::ofstream out(PathFor(name), std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("worm: create " + name);
+  out.close();
+  WormFileInfo info;
+  info.create_time_micros = clock_->NowMicros();
+  info.retention_micros = retention_micros;
+  info.size = 0;
+  meta_[name] = info;
+  return SaveMeta();
+}
+
+Status WormStore::AppendUnflushed(const std::string& name, Slice data) {
+  auto it = meta_.find(name);
+  if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  Result<std::FILE*> handle = AppendHandle(name);
+  if (!handle.ok()) return handle.status();
+  size_t n = std::fwrite(data.data(), 1, data.size(), handle.value());
+  if (n != data.size()) return Status::IOError("worm: append write " + name);
+  // Size is tracked in memory and persisted lazily (dtor / next metadata
+  // change); on reopen LoadMeta reconciles against the real file size, so
+  // a stale persisted size can only under-count — never mask truncation.
+  it->second.size += data.size();
+  return Status::OK();
+}
+
+Status WormStore::FlushAppends(const std::string& name) {
+  auto it = handles_.find(name);
+  if (it == handles_.end()) return Status::OK();
+  if (std::fflush(it->second) != 0) {
+    return Status::IOError("worm: append flush " + name);
+  }
+  return Status::OK();
+}
+
+Status WormStore::Append(const std::string& name, Slice data) {
+  CDB_RETURN_IF_ERROR(AppendUnflushed(name, data));
+  return FlushAppends(name);
+}
+
+Status WormStore::CreateWithContent(const std::string& name,
+                                    uint64_t retention_micros, Slice content) {
+  CDB_RETURN_IF_ERROR(Create(name, retention_micros));
+  if (!content.empty()) return Append(name, content);
+  return Status::OK();
+}
+
+Status WormStore::ReadAll(const std::string& name, std::string* out) const {
+  auto it = meta_.find(name);
+  if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  std::ifstream in(PathFor(name), std::ios::binary);
+  if (!in.is_open()) return Status::IOError("worm: read open " + name);
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  // The real server would never serve a file shorter than its recorded
+  // size; a mismatch here means someone edited the backing directory
+  // out-of-band, which the emulation reports as tampering.
+  if (out->size() < it->second.size) {
+    return Status::Tampered("worm: file shorter than recorded size: " + name);
+  }
+  return Status::OK();
+}
+
+Status WormStore::ReadAt(const std::string& name, uint64_t offset, size_t n,
+                         std::string* out) const {
+  std::string all;
+  CDB_RETURN_IF_ERROR(ReadAll(name, &all));
+  if (offset >= all.size()) {
+    out->clear();
+    return Status::OK();
+  }
+  *out = all.substr(offset, n);
+  return Status::OK();
+}
+
+Status WormStore::Delete(const std::string& name) {
+  auto it = meta_.find(name);
+  if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  const WormFileInfo& info = it->second;
+  if (!info.released) {
+    if (info.retention_micros == 0) {
+      return Violation("worm: delete of retain-forever file refused: " + name);
+    }
+    uint64_t now = clock_->NowMicros();
+    if (now < info.create_time_micros + info.retention_micros) {
+      return Violation("worm: delete before retention expiry refused: " +
+                       name);
+    }
+  }
+  auto handle = handles_.find(name);
+  if (handle != handles_.end()) {
+    std::fclose(handle->second);
+    handles_.erase(handle);
+  }
+  std::error_code ec;
+  fs::remove(PathFor(name), ec);
+  if (ec) return Status::IOError("worm: delete " + name + ": " + ec.message());
+  meta_.erase(it);
+  return SaveMeta();
+}
+
+Status WormStore::ReleaseRetention(const std::string& name) {
+  auto it = meta_.find(name);
+  if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  it->second.released = true;
+  return SaveMeta();
+}
+
+bool WormStore::Exists(const std::string& name) const {
+  return meta_.count(name) > 0;
+}
+
+Result<WormFileInfo> WormStore::GetInfo(const std::string& name) const {
+  auto it = meta_.find(name);
+  if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  return it->second;
+}
+
+std::vector<std::string> WormStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(meta_.size());
+  for (const auto& [name, info] : meta_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> WormStore::ListPrefix(const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (auto it = meta_.lower_bound(prefix); it != meta_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    names.push_back(it->first);
+  }
+  return names;
+}
+
+}  // namespace complydb

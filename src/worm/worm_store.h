@@ -1,0 +1,123 @@
+#ifndef COMPLYDB_WORM_WORM_STORE_H_
+#define COMPLYDB_WORM_WORM_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace complydb {
+
+/// Metadata the WORM server keeps per file. Create time comes from the
+/// store's compliance clock (the paper trusts the WORM server's clock,
+/// e.g. NetApp SnapLock's "Compliance Clock"); it is what lets the auditor
+/// verify witness files and detect hidden crashes.
+struct WormFileInfo {
+  uint64_t create_time_micros = 0;
+  uint64_t retention_micros = 0;  // 0 = retain forever (until explicit audit release)
+  uint64_t size = 0;
+  bool released = false;  // an audit marked the file superseded
+};
+
+/// Emulation of a compliance storage server (SnapLock / Centera class):
+/// files are write-once at the granularity of bytes already written —
+/// appends are allowed (the paper requires appendable WORM for logs), but
+/// no byte once written can be changed, the file cannot be truncated, and
+/// it cannot be deleted before its retention period has elapsed.
+///
+/// This object *is* the trust boundary of the architecture: everything in
+/// it is assumed correct, everything outside it (the database files, the
+/// transaction log on read/write media) is attackable. The adversary
+/// simulator calls the same public API and must be refused; refusals are
+/// counted in `violation_count()` so tests can assert the attack surface.
+///
+/// Files live under a directory; metadata (create time, retention) lives
+/// in a sidecar `_worm_meta` file that is part of the trusted emulation.
+class WormStore {
+ public:
+  /// Opens (creating if needed) a WORM store rooted at `dir`. `clock` must
+  /// outlive the store.
+  static Result<WormStore*> Open(const std::string& dir, Clock* clock);
+
+  ~WormStore();
+
+  WormStore(const WormStore&) = delete;
+  WormStore& operator=(const WormStore&) = delete;
+
+  /// Creates an empty file with the given retention period. Fails with
+  /// WormViolation if the file already exists (create-once).
+  Status Create(const std::string& name, uint64_t retention_micros);
+
+  /// Appends bytes to an existing file. Appends are the only permitted
+  /// mutation. Data is flushed to the OS before returning — a compliance
+  /// log record is only "on WORM" once Append returns OK.
+  Status Append(const std::string& name, Slice data);
+
+  /// Append without the flush, for callers that batch several records and
+  /// then call FlushAppends once (the compliance logger batches all
+  /// records of one pwrite diff).
+  Status AppendUnflushed(const std::string& name, Slice data);
+  Status FlushAppends(const std::string& name);
+
+  /// Create + single Append, for witness files and snapshots.
+  Status CreateWithContent(const std::string& name, uint64_t retention_micros,
+                           Slice content);
+
+  /// Reads the whole file.
+  Status ReadAll(const std::string& name, std::string* out) const;
+
+  /// Reads up to n bytes at offset; short reads at EOF are not an error.
+  Status ReadAt(const std::string& name, uint64_t offset, size_t n,
+                std::string* out) const;
+
+  /// Deletes a file. Refused (WormViolation) before retention expiry.
+  /// The unit of deletion on WORM is the entire file (paper §VIII).
+  Status Delete(const std::string& name);
+
+  /// Marks a file as releasable immediately (the auditor calls this for
+  /// superseded snapshots and compliance logs after a successful audit).
+  Status ReleaseRetention(const std::string& name);
+
+  bool Exists(const std::string& name) const;
+  Result<WormFileInfo> GetInfo(const std::string& name) const;
+
+  /// Names of all files, sorted.
+  std::vector<std::string> List() const;
+
+  /// Names of all files with the given prefix, sorted (prefix scans stand
+  /// in for directory listings of witness/log-tail families).
+  std::vector<std::string> ListPrefix(const std::string& prefix) const;
+
+  /// Number of refused tampering attempts since open.
+  uint64_t violation_count() const { return violations_; }
+
+  Clock* clock() const { return clock_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WormStore(std::string dir, Clock* clock)
+      : dir_(std::move(dir)), clock_(clock) {}
+
+  Status LoadMeta();
+  Status SaveMeta() const;
+  std::string PathFor(const std::string& name) const;
+  Status Violation(const std::string& what) const;
+  Result<std::FILE*> AppendHandle(const std::string& name);
+
+  std::string dir_;
+  Clock* clock_;
+  std::map<std::string, WormFileInfo> meta_;
+  // Cached append handles: the compliance log appends a record per tuple,
+  // and fopen/fclose per record would dominate transaction cost.
+  std::map<std::string, std::FILE*> handles_;
+  mutable uint64_t violations_ = 0;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_WORM_WORM_STORE_H_

@@ -1,0 +1,184 @@
+#include "storage/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/coding.h"
+#include "storage/disk_manager.h"
+#include "storage/io_hook.h"
+
+namespace complydb {
+namespace {
+
+class RecordingHook : public IoHook {
+ public:
+  Status OnPageRead(PageId pgno, const Page&) override {
+    reads.push_back(pgno);
+    return Status::OK();
+  }
+  Status OnPageWrite(PageId pgno, const Page&) override {
+    writes.push_back(pgno);
+    if (fail_writes) return Status::IOError("injected WORM outage");
+    return Status::OK();
+  }
+  std::vector<PageId> reads;
+  std::vector<PageId> writes;
+  bool fail_writes = false;
+};
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/cache_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".db";
+    std::filesystem::remove(path_);
+    auto r = DiskManager::Open(path_);
+    ASSERT_TRUE(r.ok());
+    disk_.reset(r.value());
+  }
+
+  PageId Alloc(BufferCache* cache, uint32_t stamp) {
+    Page* page = nullptr;
+    auto r = cache->NewPage(&page);
+    EXPECT_TRUE(r.ok());
+    page->Format(r.value(), PageType::kBtreeLeaf, 0, 0);
+    EncodeFixed32(page->data() + Page::kHeaderSize, stamp);
+    cache->Unpin(r.value(), /*dirty=*/true);
+    return r.value();
+  }
+
+  uint32_t ReadStamp(BufferCache* cache, PageId pgno) {
+    Page* page = nullptr;
+    EXPECT_TRUE(cache->FetchPage(pgno, &page).ok());
+    uint32_t v = DecodeFixed32(page->data() + Page::kHeaderSize);
+    cache->Unpin(pgno, false);
+    return v;
+  }
+
+  std::string path_;
+  std::unique_ptr<DiskManager> disk_;
+};
+
+TEST_F(BufferCacheTest, NewPageRoundTrip) {
+  BufferCache cache(disk_.get(), 4);
+  PageId p = Alloc(&cache, 0xABCD);
+  EXPECT_EQ(ReadStamp(&cache, p), 0xABCDu);
+}
+
+TEST_F(BufferCacheTest, EvictionWritesDirtyAndReloads) {
+  BufferCache cache(disk_.get(), 2);
+  PageId a = Alloc(&cache, 1);
+  PageId b = Alloc(&cache, 2);
+  PageId c = Alloc(&cache, 3);  // evicts the LRU (a)
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_EQ(ReadStamp(&cache, a), 1u);
+  EXPECT_EQ(ReadStamp(&cache, b), 2u);
+  EXPECT_EQ(ReadStamp(&cache, c), 3u);
+}
+
+TEST_F(BufferCacheTest, HitsAndMisses) {
+  BufferCache cache(disk_.get(), 4);
+  PageId a = Alloc(&cache, 1);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_TRUE(cache.DropAll().ok());
+  EXPECT_EQ(ReadStamp(&cache, a), 1u);  // miss
+  uint64_t misses = cache.misses();
+  EXPECT_EQ(ReadStamp(&cache, a), 1u);  // hit
+  EXPECT_EQ(cache.misses(), misses);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST_F(BufferCacheTest, AllPinnedReportsBusy) {
+  BufferCache cache(disk_.get(), 2);
+  Page* p1 = nullptr;
+  Page* p2 = nullptr;
+  auto r1 = cache.NewPage(&p1);
+  auto r2 = cache.NewPage(&p2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  Page* p3 = nullptr;
+  auto r3 = cache.NewPage(&p3);
+  EXPECT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), Status::Code::kBusy);
+  cache.Unpin(r1.value(), true);
+  cache.Unpin(r2.value(), true);
+}
+
+TEST_F(BufferCacheTest, HooksSeeReadsAndWrites) {
+  BufferCache cache(disk_.get(), 2);
+  RecordingHook hook;
+  cache.AddHook(&hook);
+  PageId a = Alloc(&cache, 1);
+  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_EQ(hook.writes.size(), 1u);
+  EXPECT_EQ(hook.writes[0], a);
+  ASSERT_TRUE(cache.DropAll().ok());
+  ReadStamp(&cache, a);
+  ASSERT_EQ(hook.reads.size(), 1u);
+  EXPECT_EQ(hook.reads[0], a);
+}
+
+TEST_F(BufferCacheTest, FailedHookBlocksWrite) {
+  // The compliance rule: if L cannot be written, the page write must not
+  // happen (transaction processing halts).
+  BufferCache cache(disk_.get(), 2);
+  RecordingHook hook;
+  hook.fail_writes = true;
+  cache.AddHook(&hook);
+  Alloc(&cache, 7);
+  uint64_t disk_writes_before = disk_->writes();
+  EXPECT_FALSE(cache.FlushAll().ok());
+  EXPECT_EQ(disk_->writes(), disk_writes_before);
+}
+
+TEST_F(BufferCacheTest, FlushMarkedAndRemarkTwoCycleProtocol) {
+  BufferCache cache(disk_.get(), 8);
+  PageId a = Alloc(&cache, 1);
+  (void)a;
+  // Cycle 1: nothing marked yet -> no writes; dirty pages get marked.
+  uint64_t w0 = disk_->writes();
+  ASSERT_TRUE(cache.FlushMarkedAndRemark().ok());
+  EXPECT_EQ(disk_->writes(), w0);
+  // Cycle 2: previously marked dirty pages are written.
+  ASSERT_TRUE(cache.FlushMarkedAndRemark().ok());
+  EXPECT_GT(disk_->writes(), w0);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST_F(BufferCacheTest, PersistenceAcrossCacheInstances) {
+  {
+    BufferCache cache(disk_.get(), 4);
+    Alloc(&cache, 42);
+    ASSERT_TRUE(cache.FlushAll().ok());
+  }
+  BufferCache cache2(disk_.get(), 4);
+  EXPECT_EQ(ReadStamp(&cache2, 0), 42u);
+}
+
+TEST_F(BufferCacheTest, FetchOutOfRangeFails) {
+  BufferCache cache(disk_.get(), 4);
+  Page* page = nullptr;
+  EXPECT_FALSE(cache.FetchPage(99, &page).ok());
+}
+
+TEST_F(BufferCacheTest, PageGuardUnpinsOnDestruction) {
+  BufferCache cache(disk_.get(), 2);
+  PageId a = Alloc(&cache, 1);
+  {
+    Page* page = nullptr;
+    ASSERT_TRUE(cache.FetchPage(a, &page).ok());
+    PageGuard guard(&cache, a, page);
+    guard.MarkDirty();
+  }
+  // Frame must be evictable now: fill the cache.
+  Alloc(&cache, 2);
+  Alloc(&cache, 3);
+  EXPECT_EQ(ReadStamp(&cache, a), 1u);
+}
+
+}  // namespace
+}  // namespace complydb

@@ -1,0 +1,128 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/slice.h"
+
+namespace complydb {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u}) {
+    std::string s;
+    PutFixed16(&s, static_cast<uint16_t>(v));
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(DecodeFixed16(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xDEADBEEFu, std::numeric_limits<uint32_t>::max()}) {
+    std::string s;
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEFCAFEBABE},
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(CodingTest, FixedIsLittleEndian) {
+  std::string s;
+  PutFixed32(&s, 0x01020304u);
+  EXPECT_EQ(s[0], 0x04);
+  EXPECT_EQ(s[3], 0x01);
+}
+
+TEST(CodingTest, BigEndianPreservesOrder) {
+  // Lexicographic byte order of big-endian encodings == numeric order.
+  std::string prev;
+  for (uint64_t v : {0ull, 1ull, 255ull, 256ull, 1ull << 32, 1ull << 63}) {
+    std::string cur;
+    PutBigEndian64(&cur, v);
+    ASSERT_EQ(cur.size(), 8u);
+    EXPECT_EQ(DecodeBigEndian64(cur.data()), v);
+    if (!prev.empty()) {
+      EXPECT_LT(prev, cur);
+    }
+    prev = cur;
+  }
+}
+
+TEST(CodingTest, BigEndian32RoundTrip) {
+  std::string s;
+  PutBigEndian32(&s, 0x01020304u);
+  EXPECT_EQ(s[0], 0x01);
+  EXPECT_EQ(DecodeBigEndian32(s.data()), 0x01020304u);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  PutLengthPrefixed(&s, "");
+  PutLengthPrefixed(&s, std::string(1000, 'x'));
+
+  Decoder dec(s);
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixed(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodingTest, DecoderDetectsTruncation) {
+  std::string s;
+  PutFixed32(&s, 12345);
+  Decoder dec(Slice(s.data(), 3));
+  uint32_t v;
+  EXPECT_TRUE(dec.GetFixed32(&v).IsCorruption());
+}
+
+TEST(CodingTest, DecoderDetectsTruncatedLengthPrefix) {
+  std::string s;
+  PutFixed32(&s, 100);  // claims 100 bytes follow, none do
+  Decoder dec(s);
+  std::string out;
+  EXPECT_TRUE(dec.GetLengthPrefixed(&out).IsCorruption());
+}
+
+TEST(CodingTest, DecoderSkip) {
+  std::string s = "abcdef";
+  Decoder dec(s);
+  ASSERT_TRUE(dec.Skip(4).ok());
+  EXPECT_EQ(dec.remaining(), 2u);
+  EXPECT_TRUE(dec.Skip(3).IsCorruption());
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  Slice a("abc"), b("abd"), c("ab");
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+  EXPECT_EQ(a.compare(Slice("abc")), 0);
+  EXPECT_TRUE(a.starts_with(c));
+  EXPECT_FALSE(c.starts_with(a));
+}
+
+TEST(StatusTest, ToStringAndPredicates) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::Tampered("leaf 33 swapped");
+  EXPECT_TRUE(s.IsTampered());
+  EXPECT_EQ(s.ToString(), "Tampered: leaf 33 swapped");
+  EXPECT_TRUE(Status::WormViolation("x").IsWormViolation());
+}
+
+}  // namespace
+}  // namespace complydb

@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace complydb {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) test vectors.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  std::string data = "compliance log record payload";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t a = Crc32Extend(Crc32(Slice(data.data(), split)),
+                             Slice(data.data() + split, data.size() - split));
+    EXPECT_EQ(a, Crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  uint32_t base = Crc32(data);
+  for (size_t byte : {0u, 17u, 128u, 255u}) {
+    std::string tampered = data;
+    tampered[byte] ^= 0x01;
+    EXPECT_NE(Crc32(tampered), base) << "flip at byte " << byte;
+  }
+}
+
+}  // namespace
+}  // namespace complydb

@@ -1,0 +1,182 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace complydb {
+namespace {
+
+// Records on a Page are length-prefixed: first two bytes = total length.
+std::string MakeRecord(const std::string& body) {
+  std::string rec;
+  PutFixed16(&rec, static_cast<uint16_t>(2 + body.size()));
+  rec += body;
+  return rec;
+}
+
+std::string Body(Slice rec) {
+  return std::string(rec.data() + 2, rec.size() - 2);
+}
+
+TEST(PageTest, FormatSetsHeader) {
+  Page p;
+  EXPECT_FALSE(p.IsFormatted());
+  p.Format(7, PageType::kBtreeLeaf, 3, 0);
+  EXPECT_TRUE(p.IsFormatted());
+  EXPECT_EQ(p.pgno(), 7u);
+  EXPECT_EQ(p.type(), PageType::kBtreeLeaf);
+  EXPECT_EQ(p.tree_id(), 3u);
+  EXPECT_EQ(p.level(), 0);
+  EXPECT_EQ(p.slot_count(), 0);
+  EXPECT_EQ(p.right_sibling(), kInvalidPage);
+  EXPECT_TRUE(p.CheckStructure().ok());
+}
+
+TEST(PageTest, InsertAndRead) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("alpha")).ok());
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("beta")).ok());
+  ASSERT_EQ(p.slot_count(), 2);
+  EXPECT_EQ(Body(p.RecordAt(0)), "alpha");
+  EXPECT_EQ(Body(p.RecordAt(1)), "beta");
+  EXPECT_TRUE(p.CheckStructure().ok());
+}
+
+TEST(PageTest, InsertAtSlotShifts) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("a")).ok());
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("c")).ok());
+  ASSERT_TRUE(p.InsertRecord(1, MakeRecord("b")).ok());
+  EXPECT_EQ(Body(p.RecordAt(0)), "a");
+  EXPECT_EQ(Body(p.RecordAt(1)), "b");
+  EXPECT_EQ(Body(p.RecordAt(2)), "c");
+  EXPECT_TRUE(p.CheckStructure().ok());
+}
+
+TEST(PageTest, EraseCompactsHeap) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("first")).ok());
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("second")).ok());
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("third")).ok());
+  size_t free_before = p.FreeSpace();
+  ASSERT_TRUE(p.EraseRecord(1).ok());
+  ASSERT_EQ(p.slot_count(), 2);
+  EXPECT_EQ(Body(p.RecordAt(0)), "first");
+  EXPECT_EQ(Body(p.RecordAt(1)), "third");
+  EXPECT_GT(p.FreeSpace(), free_before);
+  EXPECT_TRUE(p.CheckStructure().ok());
+}
+
+TEST(PageTest, ReplaceRecord) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("short")).ok());
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("tail")).ok());
+  ASSERT_TRUE(p.ReplaceRecord(0, MakeRecord("a-much-longer-record")).ok());
+  EXPECT_EQ(Body(p.RecordAt(0)), "a-much-longer-record");
+  EXPECT_EQ(Body(p.RecordAt(1)), "tail");
+  EXPECT_TRUE(p.CheckStructure().ok());
+}
+
+TEST(PageTest, FullPageReportsBusy) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  std::string rec = MakeRecord(std::string(100, 'x'));
+  Status s = Status::OK();
+  int inserted = 0;
+  while ((s = p.AppendRecord(rec)).ok()) ++inserted;
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_GT(inserted, 30);  // ~4K / 104B
+  EXPECT_TRUE(p.CheckStructure().ok());
+}
+
+TEST(PageTest, OrderNumbersMonotonic) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  EXPECT_EQ(p.TakeOrderNumber(), 0);
+  EXPECT_EQ(p.TakeOrderNumber(), 1);
+  EXPECT_EQ(p.TakeOrderNumber(), 2);
+  EXPECT_EQ(p.next_order_number(), 3);
+}
+
+TEST(PageTest, RejectsBadRecords) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  // Length prefix disagrees with actual size.
+  std::string bad;
+  PutFixed16(&bad, 99);
+  bad += "xy";
+  EXPECT_TRUE(p.AppendRecord(bad).IsInvalidArgument());
+  EXPECT_TRUE(p.AppendRecord("").IsInvalidArgument());
+}
+
+TEST(PageTest, EraseOutOfRange) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  EXPECT_TRUE(p.EraseRecord(0).IsInvalidArgument());
+}
+
+TEST(PageTest, CheckStructureCatchesBadMagic) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  p.data()[0] ^= 0x1;
+  EXPECT_TRUE(p.CheckStructure().IsCorruption());
+}
+
+TEST(PageTest, CheckStructureCatchesCorruptSlotOffset) {
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  ASSERT_TRUE(p.AppendRecord(MakeRecord("victim")).ok());
+  // Point slot 0 into the header area (a file-editor attack).
+  EncodeFixed16(p.data() + Page::kHeaderSize, 4);
+  EXPECT_TRUE(p.CheckStructure().IsCorruption());
+}
+
+// Property test: random insert/erase sequences keep the structure valid
+// and mirror a std::vector<std::string> model.
+class PagePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PagePropertyTest, MatchesModelUnderRandomOps) {
+  Random rng(GetParam());
+  Page p;
+  p.Format(1, PageType::kBtreeLeaf, 0, 0);
+  std::vector<std::string> model;
+
+  for (int step = 0; step < 400; ++step) {
+    bool do_insert = model.empty() || rng.Uniform(3) != 0;
+    if (do_insert) {
+      std::string body = rng.Bytes(1 + rng.Uniform(60));
+      std::string rec = MakeRecord(body);
+      uint16_t slot = static_cast<uint16_t>(rng.Uniform(model.size() + 1));
+      Status s = p.InsertRecord(slot, rec);
+      if (s.ok()) {
+        model.insert(model.begin() + slot, body);
+      } else {
+        ASSERT_TRUE(s.IsBusy()) << s.ToString();
+      }
+    } else {
+      uint16_t slot = static_cast<uint16_t>(rng.Uniform(model.size()));
+      ASSERT_TRUE(p.EraseRecord(slot).ok());
+      model.erase(model.begin() + slot);
+    }
+    ASSERT_TRUE(p.CheckStructure().ok()) << "step " << step;
+    ASSERT_EQ(p.slot_count(), model.size());
+  }
+  for (size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(Body(p.RecordAt(static_cast<uint16_t>(i))), model[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PagePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace complydb

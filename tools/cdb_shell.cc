@@ -1,0 +1,218 @@
+// Interactive shell over a complydb directory: transactions, time travel,
+// retention, holds, vacuuming, and audits from a prompt.
+//
+//   cdb_shell <db-dir>
+//
+// The shell drives a simulated clock seeded from wall time, so `advance`
+// can push past regret intervals and retention periods interactively.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "db/compliant_db.h"
+
+using namespace complydb;
+
+namespace {
+
+constexpr char kHelp[] =
+    "commands:\n"
+    "  create <table>                 create a relation\n"
+    "  tables                         list relations\n"
+    "  put <table> <key> <value>      insert/update (one-statement txn)\n"
+    "  del <table> <key>              delete (end-of-life version)\n"
+    "  get <table> <key>              current value\n"
+    "  history <table> <key>          full version history\n"
+    "  asof <table> <key> <micros>    value as of a commit time\n"
+    "  scan <table> [limit]           current rows\n"
+    "  retention <table> <days>       set the retention policy\n"
+    "  vacuum <table>                 shred expired versions\n"
+    "  hold <table> <prefix>          place a litigation hold\n"
+    "  release <table> <prefix>       release a hold\n"
+    "  advance <seconds>              advance the simulated clock\n"
+    "  audit                          run the compliance audit\n"
+    "  stats                          engine statistics\n"
+    "  help | quit\n";
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+void PrintStatus(const Status& s) {
+  std::printf("%s\n", s.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cdb_shell <db-dir>\n");
+    return 2;
+  }
+  SystemClock wall;
+  SimulatedClock clock(wall.NowMicros());
+
+  DbOptions options;
+  options.dir = argv[1];
+  options.clock = &clock;
+  options.compliance.enabled = true;
+  options.compliance.hash_on_read = true;
+
+  auto open = CompliantDB::Open(options);
+  if (!open.ok()) {
+    std::fprintf(stderr, "open: %s\n", open.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<CompliantDB> db(open.value());
+  std::printf("complydb shell — epoch %llu, %zu table(s). Type 'help'.\n",
+              static_cast<unsigned long long>(db->epoch()),
+              db->ListTables().size());
+
+  std::string line;
+  while (std::printf("cdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    auto args = Tokenize(line);
+    if (args.empty()) continue;
+    const std::string& cmd = args[0];
+
+    auto table_id = [&](const std::string& name) -> Result<uint32_t> {
+      return db->GetTable(name);
+    };
+
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      std::printf("%s", kHelp);
+    } else if (cmd == "create" && args.size() == 2) {
+      auto r = db->CreateTable(args[1]);
+      PrintStatus(r.status());
+    } else if (cmd == "tables") {
+      for (const auto& name : db->ListTables()) {
+        std::printf("%s\n", name.c_str());
+      }
+    } else if (cmd == "put" && args.size() >= 4) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      // Re-join the value (it may contain spaces).
+      std::string value = line.substr(line.find(args[3], line.find(args[2]) +
+                                                             args[2].size()));
+      auto txn = db->Begin();
+      if (!txn.ok()) { PrintStatus(txn.status()); continue; }
+      Status s = db->Put(txn.value(), t.value(), args[2], value);
+      if (s.ok()) s = db->Commit(txn.value());
+      else (void)db->Abort(txn.value());
+      PrintStatus(s);
+    } else if (cmd == "del" && args.size() == 3) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      auto txn = db->Begin();
+      if (!txn.ok()) { PrintStatus(txn.status()); continue; }
+      Status s = db->Delete(txn.value(), t.value(), args[2]);
+      if (s.ok()) s = db->Commit(txn.value());
+      else (void)db->Abort(txn.value());
+      PrintStatus(s);
+    } else if (cmd == "get" && args.size() == 3) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      std::string value;
+      Status s = db->Get(t.value(), args[2], &value);
+      if (s.ok()) std::printf("%s\n", value.c_str());
+      else PrintStatus(s);
+    } else if (cmd == "history" && args.size() == 3) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      std::vector<TupleData> versions;
+      Status s = db->GetHistory(t.value(), args[2], &versions);
+      if (!s.ok()) { PrintStatus(s); continue; }
+      for (const auto& v : versions) {
+        std::printf("  @%llu %s%s\n",
+                    static_cast<unsigned long long>(v.start),
+                    v.eol ? "(deleted)" : v.value.c_str(),
+                    v.stamped ? "" : " [unstamped]");
+      }
+      std::printf("(%zu versions)\n", versions.size());
+    } else if (cmd == "asof" && args.size() == 4) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      uint64_t at = std::strtoull(args[3].c_str(), nullptr, 10);
+      std::string value;
+      Status s = db->GetAsOf(t.value(), args[2], at, &value);
+      if (s.ok()) std::printf("%s\n", value.c_str());
+      else PrintStatus(s);
+    } else if (cmd == "scan" && args.size() >= 2) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      size_t limit = args.size() >= 3
+                         ? std::strtoull(args[2].c_str(), nullptr, 10)
+                         : 25;
+      size_t shown = 0;
+      (void)db->ScanCurrent(t.value(), "", "", [&](const TupleData& row) {
+        if (shown++ >= limit) return Status::Busy("stop");
+        std::printf("  %s = %s\n", row.key.c_str(), row.value.c_str());
+        return Status::OK();
+      });
+    } else if (cmd == "retention" && args.size() == 3) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      uint64_t days = std::strtoull(args[2].c_str(), nullptr, 10);
+      PrintStatus(db->SetRetention(t.value(),
+                                   days * 24ull * 3600 * 1'000'000));
+    } else if (cmd == "vacuum" && args.size() == 2) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      auto r = db->Vacuum(t.value());
+      if (!r.ok()) { PrintStatus(r.status()); continue; }
+      std::printf("candidates=%llu shredded=%llu held=%llu\n",
+                  static_cast<unsigned long long>(r.value().candidates),
+                  static_cast<unsigned long long>(r.value().shredded),
+                  static_cast<unsigned long long>(r.value().held));
+    } else if (cmd == "hold" && args.size() == 3) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      PrintStatus(db->PlaceHold(t.value(), args[2]));
+    } else if (cmd == "release" && args.size() == 3) {
+      auto t = table_id(args[1]);
+      if (!t.ok()) { PrintStatus(t.status()); continue; }
+      PrintStatus(db->ReleaseHold(t.value(), args[2]));
+    } else if (cmd == "advance" && args.size() == 2) {
+      uint64_t seconds = std::strtoull(args[1].c_str(), nullptr, 10);
+      PrintStatus(db->AdvanceClock(seconds * 1'000'000ull));
+    } else if (cmd == "audit") {
+      auto r = db->Audit();
+      if (!r.ok()) { PrintStatus(r.status()); continue; }
+      std::printf("%s — %llu records, %llu tuples, %.3fs\n",
+                  r.value().ok() ? "COMPLIANT" : "TAMPERING DETECTED",
+                  static_cast<unsigned long long>(r.value().log_records),
+                  static_cast<unsigned long long>(r.value().tuples_checked),
+                  r.value().timings.total_seconds);
+      for (const auto& p : r.value().problems) {
+        std::printf("  - %s\n", p.c_str());
+      }
+    } else if (cmd == "stats") {
+      auto r = db->Stats();
+      if (!r.ok()) { PrintStatus(r.status()); continue; }
+      std::printf("epoch=%llu cache=%llu/%llu log=%lluB hist=%llu pages\n",
+                  static_cast<unsigned long long>(r.value().epoch),
+                  static_cast<unsigned long long>(r.value().cache_hits),
+                  static_cast<unsigned long long>(r.value().cache_misses),
+                  static_cast<unsigned long long>(
+                      r.value().compliance_log_bytes),
+                  static_cast<unsigned long long>(
+                      r.value().historical_pages));
+    } else {
+      std::printf("unrecognized; type 'help'\n");
+    }
+  }
+  Status s = db->Close();
+  if (!s.ok()) PrintStatus(s);
+  return 0;
+}

@@ -15,6 +15,8 @@ using namespace complydb;
 using namespace complydb::bench;
 
 int main(int argc, char** argv) {
+  std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "ablation");
+  Timer run_timer;
   uint64_t txns = ArgOr(argc, argv, 1, 1200);
 
   // ---- 1. page-image cache --------------------------------------------
@@ -130,6 +132,11 @@ int main(int argc, char** argv) {
     }
     std::printf("Expected shape: ADD_HASH avoids materializing and sorting "
                 "the identity lists.\n");
+  }
+  Status ms = WriteMetricsJson(metrics_path, "ablation", run_timer.Seconds());
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+    return 1;
   }
   return 0;
 }

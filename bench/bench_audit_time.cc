@@ -53,6 +53,8 @@ int AuditAfterRun(Mode mode, uint64_t txns, bool tsb) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "audit_time");
+  Timer run_timer;
   uint64_t txns = ArgOr(argc, argv, 1, 1500);
   std::printf("=== §VII(c): audit time after %llu TPC-C transactions ===\n",
               static_cast<unsigned long long>(txns));
@@ -69,5 +71,11 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: audit_s << run_s (paper: 351+104s audit vs "
               "2-3h run); hash-on-read adds replay cost; TSB shrinks the "
               "audited page set.\n");
+  Status ms = WriteMetricsJson(metrics_path, "audit_time",
+                               run_timer.Seconds());
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -75,6 +75,8 @@ int RunConfig(const Config& config, uint64_t total, uint64_t step) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "fig3_runtime");
+  Timer run_timer;
   uint64_t total = ArgOr(argc, argv, 1, 2000);
   uint64_t step = ArgOr(argc, argv, 2, 500);
 
@@ -96,5 +98,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExpected shape: (b) overhead < (a) overhead; (c) largest "
               "relative slowdown, bounded (~30%% in the paper).\n");
+  Status ms = WriteMetricsJson(metrics_path, "fig3_runtime",
+                               run_timer.Seconds());
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

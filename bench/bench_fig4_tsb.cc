@@ -111,6 +111,8 @@ int RunShape(const Shape& shape, uint64_t keys, uint64_t updates) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "fig4_tsb");
+  Timer run_timer;
   uint64_t keys = ArgOr(argc, argv, 1, 2000);
   uint64_t updates = ArgOr(argc, argv, 2, 8000);
 
@@ -127,5 +129,10 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: STOCK migrates pages even at threshold 0; "
               "ORDER_LINE migrates none below 0.5 and blows up historic "
               "pages at high thresholds.\n");
+  Status ms = WriteMetricsJson(metrics_path, "fig4_tsb", run_timer.Seconds());
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

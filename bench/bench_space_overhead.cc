@@ -45,6 +45,9 @@ Result<SpaceRow> RunOnce(size_t cache_pages, uint64_t txns) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path =
+      StripMetricsJsonFlag(&argc, argv, "space_overhead");
+  Timer run_timer;
   uint64_t txns = ArgOr(argc, argv, 1, 1500);
 
   std::printf("=== §VII(a): compliance log size vs cache size (%llu TPC-C "
@@ -164,6 +167,12 @@ int main(int argc, char** argv) {
     std::printf("Expected shape: far fewer live pages under TSB (audit "
                 "effort shrinks by the same fraction), extra total pages "
                 "on cheap WORM.\n");
+  }
+  Status ms = WriteMetricsJson(metrics_path, "space_overhead",
+                               run_timer.Seconds());
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -84,7 +84,10 @@ Result<bool> DetectedByAudit(const Attack& attack, bool hash_on_read) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      StripMetricsJsonFlag(&argc, argv, "tamper_detection");
+  Timer run_timer;
   std::vector<Attack> attacks = {
       {"retroactive value alteration",
        [](Mala& m, uint32_t t, const std::string&) {
@@ -146,5 +149,11 @@ int main() {
   std::printf("\nExpected: every attack detected; state reversion is the "
               "one case the base architecture misses by design (§V) and "
               "hash-page-on-read closes.\n");
+  Status ms = WriteMetricsJson(metrics_path, "tamper_detection",
+                               run_timer.Seconds());
+  if (!ms.ok()) {
+    std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+    return 1;
+  }
   return failures == 0 ? 0 : 1;
 }

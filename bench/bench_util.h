@@ -13,6 +13,8 @@
 #include <string>
 
 #include "db/compliant_db.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tpcc/workload.h"
 
 namespace complydb {
@@ -43,6 +45,9 @@ struct Timer {
                                          start)
         .count();
   }
+  /// Restarts the timer — call after warm-up iterations so the measured
+  /// window excludes cold caches and lazy initialization.
+  void Reset() { start = std::chrono::steady_clock::now(); }
 };
 
 /// One TPC-C environment: fresh directory, simulated clock, loaded tables.
@@ -93,6 +98,16 @@ struct TpccEnv {
     }
     return Status::OK();
   }
+
+  /// Warm-up: runs `n` mix transactions, then zeroes the process-wide
+  /// metrics and the trace ring so the measured region starts clean while
+  /// the buffer cache and WORM files stay warm.
+  Status Warmup(uint64_t n) {
+    CDB_RETURN_IF_ERROR(RunTxns(n));
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::TraceRing::Global().Reset();
+    return Status::OK();
+  }
 };
 
 inline uint64_t ArgOr(int argc, char** argv, int index, uint64_t fallback) {
@@ -104,6 +119,53 @@ inline std::string BenchDir(const std::string& name) {
   const char* base = std::getenv("COMPLYDB_BENCH_DIR");
   return std::string(base != nullptr ? base : "/tmp") + "/complydb_bench_" +
          name;
+}
+
+/// Strips `--metrics-json[=path]` out of argv *before* positional parsing
+/// so ArgOr indices are unaffected. Returns the artifact path (default
+/// `BENCH_<name>.json` in the working directory) or "" if the flag is
+/// absent.
+inline std::string StripMetricsJsonFlag(int* argc, char** argv,
+                                        const std::string& name) {
+  const std::string kFlag = "--metrics-json";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == kFlag) {
+      path = "BENCH_" + name + ".json";
+    } else if (arg.rfind(kFlag + "=", 0) == 0) {
+      path = arg.substr(kFlag.size() + 1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes the per-run artifact: bench name, elapsed wall seconds, trace
+/// totals, and the full metrics registry (per-subsystem counters plus
+/// p50/p95/p99 latency histograms). No-op when `path` is empty.
+inline Status WriteMetricsJson(const std::string& path,
+                               const std::string& name,
+                               double elapsed_seconds) {
+  if (path.empty()) return Status::OK();
+  auto& ring = obs::TraceRing::Global();
+  std::string json = "{\"bench\":\"" + name +
+                     "\",\"elapsed_seconds\":" +
+                     std::to_string(elapsed_seconds) +
+                     ",\"trace_events_total\":" + std::to_string(ring.total()) +
+                     ",\"trace_events_dropped\":" +
+                     std::to_string(ring.dropped()) + ",\"metrics\":" +
+                     obs::MetricsRegistry::Global().ToJson() + "}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("metrics json open " + path);
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) return Status::IOError("metrics json write " + path);
+  std::printf("metrics artifact: %s\n", path.c_str());
+  return Status::OK();
 }
 
 }  // namespace bench

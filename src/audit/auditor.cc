@@ -10,6 +10,8 @@
 #include "btree/tuple.h"
 #include "common/coding.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_cache.h"
 
 namespace complydb {
@@ -21,6 +23,45 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+struct AuditMetrics {
+  obs::Counter* runs;
+  obs::Counter* pages_checked;
+  obs::Counter* tuples_checked;
+  obs::Counter* problems;
+  obs::Histogram* snapshot_us;
+  obs::Histogram* summarize_us;
+  obs::Histogram* replay_us;
+  obs::Histogram* final_state_us;
+  obs::Histogram* index_check_us;
+  obs::Histogram* total_us;
+  AuditMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    runs = reg.GetCounter("audit.runs");
+    pages_checked = reg.GetCounter("audit.pages_checked");
+    tuples_checked = reg.GetCounter("audit.tuples_checked");
+    problems = reg.GetCounter("audit.problems");
+    snapshot_us = reg.GetHistogram("audit.phase.snapshot_us");
+    summarize_us = reg.GetHistogram("audit.phase.summarize_us");
+    replay_us = reg.GetHistogram("audit.phase.replay_us");
+    final_state_us = reg.GetHistogram("audit.phase.final_state_us");
+    index_check_us = reg.GetHistogram("audit.phase.index_check_us");
+    total_us = reg.GetHistogram("audit.phase.total_us");
+  }
+};
+AuditMetrics& Am() {
+  static AuditMetrics m;
+  return m;
+}
+
+// Records one audit-phase timing in both the histogram and the trace ring.
+void RecordPhase(obs::AuditPhase phase, obs::Histogram* hist,
+                 double seconds) {
+  auto micros = static_cast<uint64_t>(seconds * 1e6);
+  hist->Record(micros);
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kAuditPhase,
+                                static_cast<uint64_t>(phase), micros);
+}
+
 std::string HashBytes(Slice s) {
   auto d = Sha256::Hash(s);
   return std::string(reinterpret_cast<const char*>(d.data()), d.size());
@@ -30,6 +71,7 @@ std::string HashBytes(Slice s) {
 
 Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   AuditReport report;
+  Am().runs->Inc();
   auto t_total = std::chrono::steady_clock::now();
   auto problem = [&](const std::string& what) {
     report.problems.push_back(what);
@@ -49,6 +91,8 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
     prev = r.TakeValue();
   }
   report.timings.snapshot_seconds = SecondsSince(t0);
+  RecordPhase(obs::AuditPhase::kSnapshot, Am().snapshot_us,
+              report.timings.snapshot_seconds);
 
   // ---------------------------------------------------------------- 2.
   // Prepass over L: transaction outcomes, shreds, duplicate/conflict
@@ -134,6 +178,8 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
     if (!s.ok()) problem("stamp index: " + s.ToString());
   }
   report.timings.summarize_seconds = SecondsSince(t0);
+  RecordPhase(obs::AuditPhase::kSummarize, Am().summarize_us,
+              report.timings.summarize_seconds);
 
   // ---------------------------------------------------------------- 3.
   // Single-pass replay of L (the heart of the audit): reconstructs the
@@ -160,6 +206,8 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   for (const auto& p : replayer.problems()) problem(p);
   report.read_hashes_checked = replayer.read_hashes_checked();
   report.timings.replay_seconds = SecondsSince(t0);
+  RecordPhase(obs::AuditPhase::kReplay, Am().replay_us,
+              report.timings.replay_seconds);
 
   // Tree catalog: snapshot trees plus trees created this epoch.
   std::map<uint32_t, Snapshot::TreeInfo> trees;
@@ -328,6 +376,8 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
     }
   }
   report.timings.final_state_seconds = SecondsSince(t0);
+  RecordPhase(obs::AuditPhase::kFinalState, Am().final_state_us,
+              report.timings.final_state_seconds);
 
   // The on-disk catalog (meta page) is attacker-editable; it must agree
   // with the tree roots recorded on WORM (snapshots + NEW_TREE records),
@@ -394,6 +444,8 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
     }
   }
   report.timings.index_check_seconds = SecondsSince(t0);
+  RecordPhase(obs::AuditPhase::kIndexCheck, Am().index_check_us,
+              report.timings.index_check_seconds);
 
   // ---------------------------------------------------------------- 6.
   // The paper's incremental-hash completeness check (§IV-A):
@@ -704,6 +756,11 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   }
 
   report.timings.total_seconds = SecondsSince(t_total);
+  RecordPhase(obs::AuditPhase::kTotal, Am().total_us,
+              report.timings.total_seconds);
+  Am().pages_checked->Inc(report.pages_checked);
+  Am().tuples_checked->Inc(report.tuples_checked);
+  Am().problems->Inc(report.problems.size());
   return report;
 }
 

@@ -3,10 +3,30 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace complydb {
 
 namespace {
+
+struct BtreeMetrics {
+  obs::Counter* key_splits;
+  obs::Counter* root_grows;
+  obs::Counter* time_splits;
+  obs::Counter* version_hops;
+  BtreeMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    key_splits = reg.GetCounter("btree.key_splits");
+    root_grows = reg.GetCounter("btree.root_grows");
+    time_splits = reg.GetCounter("btree.time_splits");
+    version_hops = reg.GetCounter("btree.version_hops");
+  }
+};
+BtreeMetrics& Bm() {
+  static BtreeMetrics m;
+  return m;
+}
 
 // Insert loops retry after structure modifications; a bound turns a logic
 // bug into an error instead of a hang.
@@ -278,6 +298,7 @@ Status Btree::KeySplit(const std::vector<PageId>& path, size_t depth) {
   n_guard.MarkDirty();
   x_guard.Release();
   n_guard.Release();
+  Bm().key_splits->Inc();
 
   return InsertSeparator(parent_level, sep);
 }
@@ -423,6 +444,7 @@ Status Btree::RootGrow() {
   r_guard.MarkDirty();
   a_guard.MarkDirty();
   b_guard.MarkDirty();
+  Bm().root_grows->Inc();
   return Status::OK();
 }
 
@@ -475,6 +497,11 @@ Status Btree::TimeSplitLeaf(PageId leaf_pgno, size_t* freed) {
                                                  name.value(), hist));
   }
   ++migrated_pages_;
+  Bm().time_splits->Inc();
+  obs::MetricsRegistry::Global().GetCounter("tsb.migrated_tuples")
+      ->Inc(victims.size());
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kTsbMigrate, tree_id_,
+                                leaf_pgno);
   x_guard.MarkDirty();
   return Status::OK();
 }
@@ -648,6 +675,9 @@ Status Btree::GetVersions(Slice key, std::vector<TupleData>* out) {
       CDB_RETURN_IF_ERROR(DecodeTuple(r, &t));
       out->push_back(std::move(t));
     }
+    // Each extra leaf crossed to assemble one key's version thread is a
+    // "hop" — the cost time-splitting exists to keep low.
+    if (!saw_larger_key && next != kInvalidPage) Bm().version_hops->Inc();
     pgno = next;
   }
   return Status::OK();

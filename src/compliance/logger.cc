@@ -1,8 +1,32 @@
 #include "compliance/logger.h"
 
 #include "btree/tuple.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace complydb {
+
+namespace {
+struct ComplianceMetrics {
+  obs::Counter* records;
+  obs::Counter* heartbeats;
+  obs::Counter* witnesses;
+  obs::Counter* shred_intents;
+  obs::Histogram* write_stall_us;
+  ComplianceMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    records = reg.GetCounter("compliance.records");
+    heartbeats = reg.GetCounter("compliance.heartbeats");
+    witnesses = reg.GetCounter("compliance.witnesses");
+    shred_intents = reg.GetCounter("shred.intents");
+    write_stall_us = reg.GetHistogram("compliance.write_stall_us");
+  }
+};
+ComplianceMetrics& Cm() {
+  static ComplianceMetrics m;
+  return m;
+}
+}  // namespace
 
 Status ComplianceLogger::StartFreshEpoch(uint64_t epoch) {
   if (!options_.enabled) return Status::OK();
@@ -193,6 +217,10 @@ void ComplianceLogger::NoteCached(PageId pgno, bool is_index,
 // returns, so the "on WORM before the operation proceeds" contract holds
 // at one syscall per hook instead of one per record.
 Status ComplianceLogger::Append(const CRecord& rec) {
+  Cm().records->Inc();
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kComplianceAppend,
+                                static_cast<uint64_t>(rec.type),
+                                log_->size());
   return log_->AppendUnflushed(rec);
 }
 
@@ -317,6 +345,10 @@ Status ComplianceLogger::OnPageRead(PageId pgno, const Page& image) {
 Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
   if (!options_.enabled) return Status::OK();
   if (!image.IsFormatted()) return Status::OK();
+  // The pwrite may not proceed until every record of its diff is durable
+  // on WORM — this histogram is the time transactions spend stalled on
+  // that rule.
+  obs::ScopedLatencyTimer stall(Cm().write_stall_us);
   if (image.type() == PageType::kBtreeInternal) {
     Result<IndexState> old_state = IndexBaselineFor(pgno);
     if (!old_state.ok()) return old_state.status();
@@ -525,6 +557,7 @@ Status ComplianceLogger::OnShredIntent(uint32_t tree_id, Slice key,
   rec.hash = content_hash.ToString();
   rec.timestamp = timestamp;
   CDB_RETURN_IF_ERROR(Append(rec));
+  Cm().shred_intents->Inc();
   return log_->Flush();
 }
 
@@ -536,12 +569,14 @@ Status ComplianceLogger::Tick(uint64_t now) {
     rec.timestamp = now;
     CDB_RETURN_IF_ERROR(Append(rec));
     ++stats_.heartbeats;
+    Cm().heartbeats->Inc();
     last_stamp_activity_ = now;
   }
   if (now - last_witness_time_ >= options_.regret_interval_micros) {
     std::string name = WitnessFileName(epoch(), witness_seq_++);
     CDB_RETURN_IF_ERROR(worm_->Create(name, 0));
     ++stats_.witness_files;
+    Cm().witnesses->Inc();
     last_witness_time_ = now;
   }
   return log_->Flush();

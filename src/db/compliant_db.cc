@@ -6,6 +6,8 @@
 
 #include "btree/integrity.h"
 #include "common/coding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fs = std::filesystem;
 
@@ -18,6 +20,20 @@ constexpr char kHoldsTableName[] = "__holds";
 std::string CleanMarkerPath(const std::string& dir) {
   return dir + "/CLEAN";
 }
+
+struct DbMetrics {
+  obs::Counter* regret_ticks;
+  obs::Histogram* regret_tick_us;
+  DbMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    regret_ticks = reg.GetCounter("db.regret_ticks");
+    regret_tick_us = reg.GetHistogram("db.regret_tick_us");
+  }
+};
+DbMetrics& Dm() {
+  static DbMetrics m;
+  return m;
+}
 }  // namespace
 
 Result<CompliantDB*> CompliantDB::Open(const DbOptions& options) {
@@ -27,7 +43,11 @@ Result<CompliantDB*> CompliantDB::Open(const DbOptions& options) {
   return db.release();
 }
 
-CompliantDB::~CompliantDB() = default;
+CompliantDB::~CompliantDB() {
+  // Detach the trace-ring timestamp source before a caller-owned clock can
+  // be destroyed (no-op if another DB already attached its own).
+  if (clock_ != nullptr) obs::TraceRing::Global().ClearClock(clock_);
+}
 
 Status CompliantDB::Init() {
   std::error_code ec;
@@ -40,6 +60,9 @@ Status CompliantDB::Init() {
     owned_clock_ = std::make_unique<SystemClock>();
     clock_ = owned_clock_.get();
   }
+  // Trace events timestamp against the database's clock so they line up
+  // with commit times in simulated-clock runs.
+  obs::TraceRing::Global().SetClock(clock_);
 
   auto worm = WormStore::Open(options_.dir + "/worm", clock_);
   if (!worm.ok()) return worm.status();
@@ -658,10 +681,13 @@ Status CompliantDB::MaybeRegretTick() {
   uint64_t regret = options_.compliance.regret_interval_micros;
   if (now - last_regret_tick_ < regret) return Status::OK();
   last_regret_tick_ = now;
+  Dm().regret_ticks->Inc();
+  obs::ScopedLatencyTimer timer(Dm().regret_tick_us);
 
   // Lazy stamping catches up, then the mark/sweep dirty-page forcing
   // guarantees every committed tuple's NEW_TUPLE reaches WORM within the
   // regret window (§IV-A).
+  uint64_t writes_before = disk_->writes();
   CDB_RETURN_IF_ERROR(txns_->StampPending(0));
   CDB_RETURN_IF_ERROR(cache_->FlushMarkedAndRemark());
   CDB_RETURN_IF_ERROR(wal_->FlushAll());
@@ -669,6 +695,8 @@ Status CompliantDB::MaybeRegretTick() {
     CDB_RETURN_IF_ERROR(logger_->Tick(now));
     CDB_RETURN_IF_ERROR(RotateTxTail());
   }
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kRegretTick,
+                                disk_->writes() - writes_before);
   return Status::OK();
 }
 
@@ -717,6 +745,14 @@ Result<CompliantDB::DbStats> CompliantDB::Stats() {
     stats.tables.push_back(std::move(ts));
   }
   return stats;
+}
+
+std::string CompliantDB::DumpMetricsJson() const {
+  return obs::MetricsRegistry::Global().ToJson();
+}
+
+std::string CompliantDB::DumpMetricsPrometheus() const {
+  return obs::MetricsRegistry::Global().ToPrometheusText();
 }
 
 // --- audit -------------------------------------------------------------

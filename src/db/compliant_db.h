@@ -182,6 +182,13 @@ class CompliantDB {
   };
   Result<DbStats> Stats();
 
+  /// Process-wide metrics registry (counters, gauges, latency histograms
+  /// with p50/p95/p99) as a JSON document. See docs/OBSERVABILITY.md for
+  /// the metric catalog.
+  std::string DumpMetricsJson() const;
+  /// The same registry in Prometheus text exposition format.
+  std::string DumpMetricsPrometheus() const;
+
   // --- introspection (tests & benchmarks) ---
   DiskManager* disk() { return disk_.get(); }
   BufferCache* cache() { return cache_.get(); }

@@ -1,0 +1,228 @@
+#ifndef COMPLYDB_OBS_METRICS_H_
+#define COMPLYDB_OBS_METRICS_H_
+
+// Process-wide observability: named atomic counters, gauges, and fixed-
+// bucket log2 latency histograms, collected in a MetricsRegistry and
+// exported as JSON or Prometheus text.
+//
+// Design constraints (the hot paths this instruments run per tuple / per
+// page / per WORM append):
+//   * zero allocation after registration — call sites resolve a metric
+//     once (function-local static) and then touch only a relaxed atomic;
+//   * no locks on the update path — the registry mutex guards only
+//     name -> metric resolution and snapshotting;
+//   * compile-out — building with COMPLYDB_DISABLE_METRICS turns every
+//     update into a no-op so the overhead of the layer itself can be
+//     measured (see bench_micro);
+//   * latency sampling can be disabled at runtime (SetSampling(false)),
+//     which skips the clock reads entirely — counters keep counting.
+//
+// Metric names are dotted lowercase ("wal.fsync_us"); the catalog lives
+// in docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace complydb {
+namespace obs {
+
+#if defined(COMPLYDB_DISABLE_METRICS)
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+/// Monotonic microseconds for latency measurement (real elapsed time, not
+/// the simulated Clock — latencies are about the hardware, not the
+/// workload's virtual timeline).
+inline uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Runtime switch for latency sampling. When off, ScopedLatencyTimer does
+/// not read the clock and records nothing; counters are unaffected.
+bool SamplingEnabled();
+void SetSampling(bool enabled);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+#if !defined(COMPLYDB_DISABLE_METRICS)
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (cache dirty pages, active transactions).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#if !defined(COMPLYDB_DISABLE_METRICS)
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t delta) {
+#if !defined(COMPLYDB_DISABLE_METRICS)
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket base-2 exponential histogram of microsecond latencies.
+///
+/// Bucket 0 holds exactly the value 0; bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i). 28 buckets cover 0 .. ~134 s; larger samples clamp
+/// into the top bucket. Recording is one relaxed fetch_add on the bucket
+/// plus count/sum bookkeeping — no allocation, no locks.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 28;
+
+  /// Bucket index for a value (see class comment for the boundaries).
+  static int BucketFor(uint64_t value_us) {
+    if (value_us == 0) return 0;
+    int b = 64 - __builtin_clzll(value_us);
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+  /// Inclusive lower bound of a bucket.
+  static uint64_t BucketLower(int bucket) {
+    return bucket == 0 ? 0 : 1ull << (bucket - 1);
+  }
+  /// Exclusive upper bound of a bucket.
+  static uint64_t BucketUpper(int bucket) {
+    return bucket == 0 ? 1 : 1ull << bucket;
+  }
+
+  void Record(uint64_t value_us) {
+#if !defined(COMPLYDB_DISABLE_METRICS)
+    buckets_[BucketFor(value_us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(value_us, std::memory_order_relaxed);
+    // Racy max update is fine: relaxed CAS loop, losers retry.
+    uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (value_us > prev && !max_us_.compare_exchange_weak(
+                                  prev, value_us, std::memory_order_relaxed)) {
+    }
+#else
+    (void)value_us;
+#endif
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t SumMicros() const { return sum_us_.load(std::memory_order_relaxed); }
+  uint64_t MaxMicros() const { return max_us_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// RAII latency sample into a histogram. Skips the clock reads when the
+/// histogram is null or sampling is off.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* h)
+      : hist_(kMetricsCompiledIn && h != nullptr && SamplingEnabled() ? h
+                                                                      : nullptr),
+        start_us_(hist_ != nullptr ? MonotonicMicros() : 0) {}
+  ~ScopedLatencyTimer() {
+    if (hist_ != nullptr) hist_->Record(MonotonicMicros() - start_us_);
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_us_;
+};
+
+/// Name -> metric directory. Metrics are created on first lookup and live
+/// for the life of the process (pointers remain valid across ResetAll, so
+/// call sites may cache them in function-local statics).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every metric (bench warm-up). Pointers stay valid.
+  void ResetAll();
+
+  struct HistogramSnapshot {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum_us = 0;
+    uint64_t max_us = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    std::vector<uint64_t> buckets;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  /// Point-in-time copy of every metric, sorted by name.
+  Snapshot TakeSnapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format ("complydb_" prefix, dots become
+  /// underscores, histograms as <name>_count/_sum plus quantile gauges).
+  std::string ToPrometheusText() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace obs
+}  // namespace complydb
+
+#endif  // COMPLYDB_OBS_METRICS_H_

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace complydb {
+namespace obs {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTxnBegin: return "txn.begin";
+    case TraceEventType::kTxnCommit: return "txn.commit";
+    case TraceEventType::kTxnAbort: return "txn.abort";
+    case TraceEventType::kWalFsync: return "wal.fsync";
+    case TraceEventType::kComplianceAppend: return "compliance.append";
+    case TraceEventType::kRegretTick: return "regret.tick";
+    case TraceEventType::kPageForce: return "page.force";
+    case TraceEventType::kAuditPhase: return "audit.phase";
+    case TraceEventType::kTsbMigrate: return "tsb.migrate";
+    case TraceEventType::kVacuumShred: return "vacuum.shred";
+    case TraceEventType::kWormAppend: return "worm.append";
+    case TraceEventType::kEventTypeCount: break;
+  }
+  return "?";
+}
+
+const char* AuditPhaseName(AuditPhase phase) {
+  switch (phase) {
+    case AuditPhase::kSnapshot: return "snapshot";
+    case AuditPhase::kSummarize: return "summarize";
+    case AuditPhase::kReplay: return "replay";
+    case AuditPhase::kFinalState: return "final_state";
+    case AuditPhase::kIndexCheck: return "index_check";
+    case AuditPhase::kTotal: return "total";
+  }
+  return "?";
+}
+
+// Slots are all-atomic so concurrent Emit/Snapshot stay data-race-free
+// (fields of a wrapped slot may still be torn *across* each other, which
+// Snapshot filters by sequence number).
+struct TraceRing::Slot {
+  std::atomic<uint64_t> seq{~0ull};
+  std::atomic<uint64_t> ts_micros{0};
+  std::atomic<uint8_t> type{0};
+  std::atomic<uint64_t> a{0};
+  std::atomic<uint64_t> b{0};
+};
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(RoundUpPow2(capacity == 0 ? 1 : capacity)),
+      slots_(new Slot[capacity_]) {}
+
+TraceRing::~TraceRing() { delete[] slots_; }
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing(8192);
+  return *ring;
+}
+
+void TraceRing::SetClock(Clock* clock) {
+  clock_.store(clock, std::memory_order_release);
+}
+
+void TraceRing::ClearClock(Clock* clock) {
+  Clock* expected = clock;
+  clock_.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_acq_rel);
+}
+
+void TraceRing::Emit(TraceEventType type, uint64_t a, uint64_t b) {
+#if !defined(COMPLYDB_DISABLE_METRICS)
+  if (!enabled()) return;
+  Clock* clock = clock_.load(std::memory_order_acquire);
+  uint64_t ts = clock != nullptr ? clock->NowMicros() : MonotonicMicros();
+  uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & (capacity_ - 1)];
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.ts_micros.store(ts, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+#else
+  (void)type;
+  (void)a;
+  (void)b;
+#endif
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  uint64_t end = next_.load(std::memory_order_relaxed);
+  uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(end - begin);
+  for (uint64_t seq = begin; seq < end; ++seq) {
+    const Slot& slot = slots_[seq & (capacity_ - 1)];
+    TraceEvent e;
+    e.seq = slot.seq.load(std::memory_order_relaxed);
+    if (e.seq != seq) continue;  // overwritten or mid-write
+    e.ts_micros = slot.ts_micros.load(std::memory_order_relaxed);
+    e.type = static_cast<TraceEventType>(
+        slot.type.load(std::memory_order_relaxed));
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string FormatTraceEvent(const TraceEvent& event) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "#%llu @%llu %-18s a=%llu b=%llu",
+                static_cast<unsigned long long>(event.seq),
+                static_cast<unsigned long long>(event.ts_micros),
+                TraceEventTypeName(event.type),
+                static_cast<unsigned long long>(event.a),
+                static_cast<unsigned long long>(event.b));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace complydb

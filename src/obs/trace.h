@@ -1,0 +1,122 @@
+#ifndef COMPLYDB_OBS_TRACE_H_
+#define COMPLYDB_OBS_TRACE_H_
+
+// Bounded in-memory ring of structured trace events covering the
+// compliance pipeline: transaction lifecycle, WAL fsyncs, compliance-log
+// appends, regret ticks, dirty-page forcing, audit phases, TSB
+// migrations, and shredding. The ring is lock-free (one atomic fetch_add
+// per event) and wraps: the newest events win, `dropped()` counts how
+// many were overwritten.
+//
+// Timestamps come from the database's Clock seam when one is attached
+// (SetClock), so events line up with commit times and regret intervals in
+// simulated-clock runs; otherwise they fall back to monotonic wall
+// microseconds.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace complydb {
+namespace obs {
+
+enum class TraceEventType : uint8_t {
+  kTxnBegin = 0,     // a = txn id
+  kTxnCommit,        // a = txn id, b = commit time (micros)
+  kTxnAbort,         // a = txn id
+  kWalFsync,         // a = bytes flushed, b = durable lsn
+  kComplianceAppend, // a = record count appended, b = log bytes
+  kRegretTick,       // a = pages forced this tick
+  kPageForce,        // a = page id
+  kAuditPhase,       // a = phase (AuditPhase), b = elapsed micros
+  kTsbMigrate,       // a = tree id, b = live page id
+  kVacuumShred,      // a = tree id, b = tuples shredded
+  kWormAppend,       // a = bytes, b = total file count (0 if unknown)
+  kEventTypeCount,
+};
+
+/// Audit phases carried in kAuditPhase events (matches AuditTimings).
+enum class AuditPhase : uint8_t {
+  kSnapshot = 0,
+  kSummarize,
+  kReplay,
+  kFinalState,
+  kIndexCheck,
+  kTotal,
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+const char* AuditPhaseName(AuditPhase phase);
+
+struct TraceEvent {
+  uint64_t seq = 0;  // global emission order
+  uint64_t ts_micros = 0;
+  TraceEventType type = TraceEventType::kTxnBegin;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit TraceRing(size_t capacity = 4096);
+  ~TraceRing();
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// The process-wide ring the subsystems emit into.
+  static TraceRing& Global();
+
+  /// Emits one event, stamped from the attached Clock (or monotonic wall
+  /// time). Lock-free; concurrent emits may leave a slot torn across
+  /// fields, which Snapshot tolerates (events are diagnostics, not an
+  /// audit trail — the compliance log is the authoritative record).
+  void Emit(TraceEventType type, uint64_t a = 0, uint64_t b = 0);
+
+  /// Attaches / detaches the timestamp source. ClearClock only detaches
+  /// if `clock` is still the attached one (several DBs may race at open).
+  void SetClock(Clock* clock);
+  void ClearClock(Clock* clock);
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+  /// Total events ever emitted.
+  uint64_t total() const { return next_.load(std::memory_order_relaxed); }
+  /// Events overwritten by wraparound.
+  uint64_t dropped() const {
+    uint64_t n = total();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// Copies the retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Forgets all events (bench warm-up).
+  void Reset() { next_.store(0, std::memory_order_relaxed); }
+
+ private:
+  struct Slot;
+
+  size_t capacity_;  // power of two
+  Slot* slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<bool> enabled_{true};
+  std::atomic<Clock*> clock_{nullptr};
+};
+
+/// One-line rendering for the shell / debugging.
+std::string FormatTraceEvent(const TraceEvent& event);
+
+}  // namespace obs
+}  // namespace complydb
+
+#endif  // COMPLYDB_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace complydb {
 
@@ -15,10 +17,34 @@ struct Victim {
   std::string record_bytes;
 };
 
+struct ShredMetrics {
+  obs::Counter* runs;
+  obs::Counter* tuples_shredded;
+  obs::Counter* held;
+  ShredMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    runs = reg.GetCounter("shred.vacuum_runs");
+    tuples_shredded = reg.GetCounter("shred.tuples_shredded");
+    held = reg.GetCounter("shred.held_tuples");
+  }
+};
+ShredMetrics& Sm() {
+  static ShredMetrics m;
+  return m;
+}
+
+void EmitVacuumTrace(uint32_t tree_id, const VacuumReport& report) {
+  Sm().tuples_shredded->Inc(report.shredded);
+  Sm().held->Inc(report.held);
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kVacuumShred, tree_id,
+                                report.shredded);
+}
+
 }  // namespace
 
 Result<VacuumReport> Vacuumer::Run(Btree* tree, uint64_t last_audit_time) {
   VacuumReport report;
+  Sm().runs->Inc();
   uint64_t now = now_fn_();
 
   auto retention = expiry_->Current(tree->tree_id());
@@ -103,6 +129,7 @@ Result<VacuumReport> Vacuumer::Run(Btree* tree, uint64_t last_audit_time) {
     ++report.shredded;
   }
   if (wal_ != nullptr) CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  EmitVacuumTrace(tree->tree_id(), report);
   return report;
 }
 
@@ -169,6 +196,7 @@ Result<VacuumReport> Vacuumer::RunHistorical(Btree* tree,
     }
     CDB_RETURN_IF_ERROR(hist->DropFile(file));
   }
+  EmitVacuumTrace(tree->tree_id(), report);
   return report;
 }
 

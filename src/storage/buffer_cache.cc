@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace complydb {
 
 BufferCache::BufferCache(DiskManager* disk, size_t capacity)
@@ -9,6 +11,11 @@ BufferCache::BufferCache(DiskManager* disk, size_t capacity)
   frames_.resize(capacity_);
   free_list_.reserve(capacity_);
   for (size_t i = capacity_; i-- > 0;) free_list_.push_back(i);
+  auto& reg = obs::MetricsRegistry::Global();
+  reg_hits_ = reg.GetCounter("storage.cache.hits");
+  reg_misses_ = reg.GetCounter("storage.cache.misses");
+  reg_evictions_ = reg.GetCounter("storage.cache.evictions");
+  reg_page_forces_ = reg.GetCounter("storage.cache.page_forces");
 }
 
 Status BufferCache::WriteOut(Frame* frame) {
@@ -45,7 +52,8 @@ Result<size_t> BufferCache::FindVictim() {
     CDB_RETURN_IF_ERROR(WriteOut(frame));
   }
   table_.erase(frame->pgno);
-  ++evictions_;
+  evictions_.Inc();
+  reg_evictions_->Inc();
   return victim;
 }
 
@@ -55,11 +63,13 @@ Status BufferCache::FetchPage(PageId pgno, Page** out) {
     Frame* frame = &frames_[it->second];
     ++frame->pin_count;
     frame->lru_tick = ++tick_;
-    ++hits_;
+    hits_.Inc();
+    reg_hits_->Inc();
     *out = &frame->page;
     return Status::OK();
   }
-  ++misses_;
+  misses_.Inc();
+  reg_misses_->Inc();
   Result<size_t> victim = FindVictim();
   if (!victim.ok()) return victim.status();
   size_t idx = victim.value();
@@ -136,6 +146,9 @@ Status BufferCache::FlushMarkedAndRemark() {
     if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
     if (frame.dirty && frame.marked) {
       CDB_RETURN_IF_ERROR(WriteOut(&frame));
+      reg_page_forces_->Inc();
+      obs::TraceRing::Global().Emit(obs::TraceEventType::kPageForce,
+                                    frame.pgno);
     }
   }
   for (auto& frame : frames_) {

@@ -1,11 +1,13 @@
 #ifndef COMPLYDB_STORAGE_BUFFER_CACHE_H_
 #define COMPLYDB_STORAGE_BUFFER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/io_hook.h"
 #include "storage/page.h"
@@ -57,9 +59,9 @@ class BufferCache {
   Status DropAll();
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_.Value(); }
+  uint64_t misses() const { return misses_.Value(); }
+  uint64_t evictions() const { return evictions_.Value(); }
   size_t dirty_count() const;
 
   DiskManager* disk() const { return disk_; }
@@ -84,9 +86,16 @@ class BufferCache {
   std::vector<size_t> free_list_;
   std::vector<IoHook*> hooks_;
   uint64_t tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  // Per-instance counts (the DbStats/accessor contract); the process-wide
+  // registry aggregates the same events across instances under
+  // storage.cache.*.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter* reg_hits_;
+  obs::Counter* reg_misses_;
+  obs::Counter* reg_evictions_;
+  obs::Counter* reg_page_forces_;
 };
 
 /// RAII pin guard.

@@ -9,6 +9,15 @@
 
 namespace complydb {
 
+DiskManager::DiskManager(std::string path, std::FILE* file, PageId page_count)
+    : path_(std::move(path)), file_(file), page_count_(page_count) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg_reads_ = reg.GetCounter("storage.disk.reads");
+  reg_writes_ = reg.GetCounter("storage.disk.writes");
+  reg_read_us_ = reg.GetHistogram("storage.disk.read_us");
+  reg_write_us_ = reg.GetHistogram("storage.disk.write_us");
+}
+
 Result<DiskManager*> DiskManager::Open(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   if (f == nullptr) {
@@ -40,18 +49,21 @@ void DiskManager::SimulateLatency() const {
 
 Status DiskManager::ReadPage(PageId pgno, Page* page) {
   if (pgno >= page_count_) return Status::InvalidArgument("pgno out of range");
+  obs::ScopedLatencyTimer timer(reg_read_us_);
   SimulateLatency();
   if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
     return Status::IOError("seek for read");
   }
   size_t n = std::fread(page->data(), 1, kPageSize, file_);
   if (n != kPageSize) return Status::IOError("short page read");
-  ++reads_;
+  reads_.Inc();
+  reg_reads_->Inc();
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId pgno, const Page& page) {
   if (pgno >= page_count_) return Status::InvalidArgument("pgno out of range");
+  obs::ScopedLatencyTimer timer(reg_write_us_);
   SimulateLatency();
   if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
     return Status::IOError("seek for write");
@@ -59,7 +71,8 @@ Status DiskManager::WritePage(PageId pgno, const Page& page) {
   size_t n = std::fwrite(page.data(), 1, kPageSize, file_);
   if (n != kPageSize) return Status::IOError("short page write");
   if (std::fflush(file_) != 0) return Status::IOError("flush page write");
-  ++writes_;
+  writes_.Inc();
+  reg_writes_->Inc();
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace complydb {
@@ -37,11 +38,11 @@ class DiskManager {
 
   const std::string& path() const { return path_; }
 
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_.Value(); }
+  uint64_t writes() const { return writes_.Value(); }
   void ResetCounters() {
-    reads_ = 0;
-    writes_ = 0;
+    reads_.Reset();
+    writes_.Reset();
   }
 
   /// Simulated per-I/O latency. The paper's database lived on an
@@ -52,16 +53,21 @@ class DiskManager {
   uint64_t latency_micros() const { return latency_micros_; }
 
  private:
-  DiskManager(std::string path, std::FILE* file, PageId page_count)
-      : path_(std::move(path)), file_(file), page_count_(page_count) {}
+  DiskManager(std::string path, std::FILE* file, PageId page_count);
 
   void SimulateLatency() const;
 
   std::string path_;
   std::FILE* file_;
   PageId page_count_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  // Per-instance (benchmarks reset these between phases); the registry's
+  // storage.disk.* metrics aggregate across instances.
+  obs::Counter reads_;
+  obs::Counter writes_;
+  obs::Counter* reg_reads_;
+  obs::Counter* reg_writes_;
+  obs::Histogram* reg_read_us_;
+  obs::Histogram* reg_write_us_;
   uint64_t latency_micros_ = 0;
 };
 

@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace complydb {
+
+namespace {
+struct TxnMetrics {
+  obs::Counter* begins;
+  obs::Counter* commits;
+  obs::Counter* aborts;
+  obs::Counter* stamped_versions;
+  obs::Histogram* commit_us;
+  TxnMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    begins = reg.GetCounter("txn.begins");
+    commits = reg.GetCounter("txn.commits");
+    aborts = reg.GetCounter("txn.aborts");
+    stamped_versions = reg.GetCounter("txn.stamped_versions");
+    commit_us = reg.GetHistogram("txn.commit_us");
+  }
+};
+TxnMetrics& Tm() {
+  static TxnMetrics m;
+  return m;
+}
+}  // namespace
 
 void TransactionManager::RegisterTree(uint32_t tree_id, Btree* tree) {
   trees_[tree_id] = tree;
@@ -32,6 +57,8 @@ Result<Transaction*> TransactionManager::Begin() {
     rec.type = WalRecordType::kBegin;
     active_->wal_.Emit(&rec);
   }
+  Tm().begins->Inc();
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kTxnBegin, active_->id_);
   return active_.get();
 }
 
@@ -136,6 +163,9 @@ Status TransactionManager::Commit(Transaction* txn) {
       txn->state_ != Transaction::State::kActive) {
     return Status::InvalidArgument("txn not active");
   }
+  // Covers the commit point: WAL flush, the compliance STAMP_TRANS append,
+  // and its WORM flush.
+  obs::ScopedLatencyTimer timer(Tm().commit_us);
   uint64_t commit_time = NextTick();
 
   if (wal_ != nullptr) {
@@ -165,6 +195,9 @@ Status TransactionManager::Commit(Transaction* txn) {
     end.type = WalRecordType::kEnd;
     txn->wal_.Emit(&end);
   }
+  Tm().commits->Inc();
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kTxnCommit, txn->id_,
+                                commit_time);
   active_.reset();
   return Status::OK();
 }
@@ -205,6 +238,8 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (observer_ != nullptr) {
     CDB_RETURN_IF_ERROR(observer_->OnAbort(txn->id_));
   }
+  Tm().aborts->Inc();
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kTxnAbort, txn->id_);
   active_.reset();
   return Status::OK();
 }
@@ -223,6 +258,7 @@ Status TransactionManager::StampPending(size_t max_txns) {
       Status s = tree->StampVersion(&sys, w.key, pending.txn_id,
                                     pending.commit_time);
       if (!s.ok() && !s.IsNotFound()) return s;
+      Tm().stamped_versions->Inc();
     }
   }
   return Status::OK();

@@ -5,8 +5,30 @@
 #include <fstream>
 
 #include "common/coding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace complydb {
+
+namespace {
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* flushes;
+  obs::Counter* flush_bytes;
+  obs::Histogram* fsync_us;
+  WalMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    appends = reg.GetCounter("wal.appends");
+    flushes = reg.GetCounter("wal.fsyncs");
+    flush_bytes = reg.GetCounter("wal.flush_bytes");
+    fsync_us = reg.GetHistogram("wal.fsync_us");
+  }
+};
+WalMetrics& Wm() {
+  static WalMetrics m;
+  return m;
+}
+}  // namespace
 
 Result<LogManager*> LogManager::Open(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
@@ -57,6 +79,7 @@ LogManager::~LogManager() {
 Lsn LogManager::Append(WalRecord* rec) {
   rec->lsn = next_lsn();
   pending_ += rec->Encode();
+  Wm().appends->Inc();
   return rec->lsn;
 }
 
@@ -67,6 +90,8 @@ Status LogManager::FlushTo(Lsn target) {
 
 Status LogManager::FlushAll() {
   if (pending_.empty()) return Status::OK();
+  WalMetrics& wm = Wm();
+  obs::ScopedLatencyTimer timer(wm.fsync_us);
   if (std::fseek(file_, 0, SEEK_END) != 0) return Status::IOError("wal seek");
   size_t n = std::fwrite(pending_.data(), 1, pending_.size(), file_);
   if (n != pending_.size()) return Status::IOError("wal short write");
@@ -74,7 +99,11 @@ Status LogManager::FlushAll() {
   if (tail_worm_ != nullptr && !tail_name_.empty()) {
     CDB_RETURN_IF_ERROR(tail_worm_->Append(tail_name_, pending_));
   }
+  wm.flushes->Inc();
+  wm.flush_bytes->Inc(pending_.size());
   durable_end_ += pending_.size();
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kWalFsync,
+                                pending_.size(), durable_end_);
   pending_.clear();
   return Status::OK();
 }

@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "common/coding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fs = std::filesystem;
 
@@ -15,6 +17,24 @@ namespace {
 constexpr char kMetaFileName[] = "_worm_meta";
 // File names are stored length-prefixed in the meta file; keep them sane.
 constexpr size_t kMaxName = 4096;
+
+struct WormMetrics {
+  obs::Counter* appends;
+  obs::Counter* append_bytes;
+  obs::Counter* violations;
+  obs::Histogram* append_us;
+  WormMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    appends = reg.GetCounter("worm.appends");
+    append_bytes = reg.GetCounter("worm.append_bytes");
+    violations = reg.GetCounter("worm.violations");
+    append_us = reg.GetHistogram("worm.append_us");
+  }
+};
+WormMetrics& Wm() {
+  static WormMetrics m;
+  return m;
+}
 }  // namespace
 
 Result<WormStore*> WormStore::Open(const std::string& dir, Clock* clock) {
@@ -55,6 +75,7 @@ std::string WormStore::PathFor(const std::string& name) const {
 
 Status WormStore::Violation(const std::string& what) const {
   ++violations_;
+  Wm().violations->Inc();
   return Status::WormViolation(what);
 }
 
@@ -131,10 +152,16 @@ Status WormStore::Create(const std::string& name, uint64_t retention_micros) {
 Status WormStore::AppendUnflushed(const std::string& name, Slice data) {
   auto it = meta_.find(name);
   if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  WormMetrics& wm = Wm();
+  obs::ScopedLatencyTimer timer(wm.append_us);
   Result<std::FILE*> handle = AppendHandle(name);
   if (!handle.ok()) return handle.status();
   size_t n = std::fwrite(data.data(), 1, data.size(), handle.value());
   if (n != data.size()) return Status::IOError("worm: append write " + name);
+  wm.appends->Inc();
+  wm.append_bytes->Inc(data.size());
+  obs::TraceRing::Global().Emit(obs::TraceEventType::kWormAppend,
+                                data.size());
   // Size is tracked in memory and persisted lazily (dtor / next metadata
   // change); on reopen LoadMeta reconciles against the real file size, so
   // a stale persisted size can only under-count — never mask truncation.

@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "db/compliant_db.h"
+#include "obs/trace.h"
+#include "tpcc/workload.h"
+
+namespace complydb {
+namespace obs {
+namespace {
+
+constexpr uint64_t kMinute = 60ull * 1'000'000;
+
+// --- Histogram ----------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(7), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 4);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  // Values past the top bucket clamp instead of overflowing.
+  EXPECT_EQ(Histogram::BucketFor(~0ull), Histogram::kBuckets - 1);
+
+  for (int b = 1; b < Histogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketLower(b)), b);
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketUpper(b) - 1), b);
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketUpper(b)), b + 1);
+  }
+}
+
+TEST(HistogramTest, CountSumMax) {
+  Histogram h;
+  h.Record(10);
+  h.Record(100);
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumMicros(), 1110u);
+  EXPECT_EQ(h.MaxMicros(), 1000u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumMicros(), 0u);
+  EXPECT_EQ(h.MaxMicros(), 0u);
+}
+
+TEST(HistogramTest, QuantileExtraction) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
+  // 100 samples uniform over bucket [64, 128): quantiles interpolate
+  // within the bucket, so p50 lands near the middle and p99 near the top.
+  for (int i = 0; i < 100; ++i) h.Record(64 + (i * 64) / 100);
+  double p50 = h.Quantile(0.5);
+  double p99 = h.Quantile(0.99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_GT(p99, p50);
+  EXPECT_LE(p99, 128.0);
+
+  // Bimodal: 90 fast samples at ~1us, 10 slow at ~1ms. p50 stays in the
+  // fast bucket, p95+ jumps to the slow one.
+  Histogram h2;
+  for (int i = 0; i < 90; ++i) h2.Record(1);
+  for (int i = 0; i < 10; ++i) h2.Record(1000);
+  EXPECT_LT(h2.Quantile(0.5), 2.1);
+  EXPECT_GE(h2.Quantile(0.95), 512.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsFrom8Threads) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * 100 + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) bucket_total += h.BucketCount(b);
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+// --- Counter / registry -------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsFrom8Threads) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("obs_test.concurrent");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RegistryTest, StableAddressesAndSnapshot) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("obs_test.stable");
+  Counter* b = reg.GetCounter("obs_test.stable");
+  EXPECT_EQ(a, b);  // same name resolves to the same metric
+  a->Reset();
+  a->Inc(7);
+  reg.GetHistogram("obs_test.stable_us")->Record(33);
+
+  auto snap = reg.TakeSnapshot();
+  bool found_counter = false, found_hist = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "obs_test.stable") {
+      found_counter = true;
+      EXPECT_EQ(value, 7u);
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == "obs_test.stable_us") {
+      found_hist = true;
+      EXPECT_GE(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  EXPECT_TRUE(found_hist);
+
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"obs_test.stable\": 7"), std::string::npos);
+  std::string prom = reg.ToPrometheusText();
+  EXPECT_NE(prom.find("complydb_obs_test_stable 7"), std::string::npos);
+}
+
+TEST(RegistryTest, GaugeRoundTrip) {
+  auto& reg = MetricsRegistry::Global();
+  Gauge* g = reg.GetGauge("obs_test.gauge");
+  g->Set(-5);
+  g->Add(15);
+  EXPECT_EQ(g->Value(), 10);
+}
+
+// --- TraceRing ----------------------------------------------------------
+
+TEST(TraceRingTest, Wraparound) {
+  TraceRing ring(64);  // rounded to a power of two
+  EXPECT_EQ(ring.capacity(), 64u);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ring.Emit(TraceEventType::kTxnBegin, i);
+  }
+  EXPECT_EQ(ring.total(), 200u);
+  EXPECT_EQ(ring.dropped(), 200u - 64u);
+  auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  // Oldest-first, and only the newest capacity events survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 136 + i);
+    EXPECT_EQ(events[i].a, 136 + i);
+  }
+}
+
+TEST(TraceRingTest, DisabledEmitsNothing) {
+  TraceRing ring(16);
+  ring.SetEnabled(false);
+  ring.Emit(TraceEventType::kWalFsync, 1, 2);
+  EXPECT_EQ(ring.total(), 0u);
+  ring.SetEnabled(true);
+  ring.Emit(TraceEventType::kWalFsync, 1, 2);
+  EXPECT_EQ(ring.total(), 1u);
+}
+
+TEST(TraceRingTest, ConcurrentEmitsAreRaceFree) {
+  TraceRing ring(256);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Emit(TraceEventType::kComplianceAppend, i);
+      }
+    });
+  }
+  // Concurrent snapshots must tolerate in-flight writes.
+  for (int i = 0; i < 10; ++i) (void)ring.Snapshot();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.total(), static_cast<uint64_t>(kThreads * kPerThread));
+  auto events = ring.Snapshot();
+  EXPECT_EQ(events.size(), ring.capacity());
+}
+
+TEST(TraceRingTest, FormatNamesEveryEventType) {
+  for (int i = 0; i < static_cast<int>(TraceEventType::kEventTypeCount); ++i) {
+    TraceEvent e;
+    e.type = static_cast<TraceEventType>(i);
+    std::string line = FormatTraceEvent(e);
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.find('?'), std::string::npos)
+        << "unnamed event type " << i;
+  }
+}
+
+// --- integration: a TPC-C run populates the pipeline metrics ------------
+
+TEST(ObsIntegrationTest, TpccRunProducesPipelineMetrics) {
+  std::string dir = ::testing::TempDir() + "/obs_tpcc";
+  std::filesystem::remove_all(dir);
+  auto& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  TraceRing::Global().Reset();
+
+  SimulatedClock clock;
+  DbOptions opts;
+  opts.dir = dir;
+  opts.cache_pages = 256;
+  opts.clock = &clock;
+  opts.compliance.enabled = true;
+  opts.compliance.regret_interval_micros = 5 * kMinute;
+
+  auto open = CompliantDB::Open(opts);
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  std::unique_ptr<CompliantDB> db(open.value());
+
+  tpcc::Scale scale;
+  scale.warehouses = 1;
+  scale.districts_per_warehouse = 2;
+  scale.customers_per_district = 10;
+  scale.items = 50;
+  scale.initial_orders_per_district = 10;
+  tpcc::Workload workload(db.get(), scale, 42);
+  ASSERT_TRUE(workload.CreateOrAttachTables().ok());
+  ASSERT_TRUE(workload.Load().ok());
+
+  tpcc::MixStats stats;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(workload.RunMix(1, &stats).ok());
+    clock.AdvanceMicros(kMinute);
+    ASSERT_TRUE(db->AdvanceClock(0).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+
+  // The whole pipeline reported in: compliance appends, WAL fsyncs,
+  // transactions, WORM appends, regret ticks.
+  EXPECT_GT(reg.GetCounter("compliance.records")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("wal.fsyncs")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("wal.appends")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("txn.commits")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("worm.appends")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("db.regret_ticks")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("storage.cache.hits")->Value(), 0u);
+  if (kMetricsCompiledIn) {
+    EXPECT_GT(reg.GetHistogram("wal.fsync_us")->Count(), 0u);
+    EXPECT_GT(TraceRing::Global().total(), 0u);
+  }
+
+  // Per-instance counters still back the facade's DbStats (Stats() itself
+  // touches the cache, so compare against a floor taken before the call).
+  uint64_t hits_before = db->cache()->hits();
+  uint64_t reads_before = db->disk()->reads();
+  auto db_stats = db->Stats();
+  ASSERT_TRUE(db_stats.ok());
+  EXPECT_GE(db_stats.value().cache_hits, hits_before);
+  EXPECT_GE(db_stats.value().disk_reads, reads_before);
+  EXPECT_GT(db_stats.value().cache_hits, 0u);
+
+  // The exporters render the populated registry.
+  std::string json = db->DumpMetricsJson();
+  EXPECT_NE(json.find("\"wal.fsyncs\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  std::string prom = db->DumpMetricsPrometheus();
+  EXPECT_NE(prom.find("complydb_wal_fsyncs"), std::string::npos);
+
+  ASSERT_TRUE(db->Close().ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace complydb

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "db/compliant_db.h"
+#include "obs/trace.h"
 
 using namespace complydb;
 
@@ -37,6 +38,8 @@ constexpr char kHelp[] =
     "  advance <seconds>              advance the simulated clock\n"
     "  audit                          run the compliance audit\n"
     "  stats                          engine statistics\n"
+    "  metrics [prom]                 metrics registry (JSON or Prometheus)\n"
+    "  trace [n]                      newest n trace events (default 20)\n"
     "  help | quit\n";
 
 std::vector<std::string> Tokenize(const std::string& line) {
@@ -208,6 +211,26 @@ int main(int argc, char** argv) {
                       r.value().compliance_log_bytes),
                   static_cast<unsigned long long>(
                       r.value().historical_pages));
+    } else if (cmd == "metrics") {
+      if (args.size() >= 2 && args[1] == "prom") {
+        std::printf("%s", db->DumpMetricsPrometheus().c_str());
+      } else {
+        std::printf("%s\n", db->DumpMetricsJson().c_str());
+      }
+    } else if (cmd == "trace") {
+      size_t n = args.size() >= 2
+                     ? std::strtoull(args[1].c_str(), nullptr, 10)
+                     : 20;
+      auto& ring = obs::TraceRing::Global();
+      auto events = ring.Snapshot();
+      size_t start = events.size() > n ? events.size() - n : 0;
+      for (size_t i = start; i < events.size(); ++i) {
+        std::printf("%s\n", obs::FormatTraceEvent(events[i]).c_str());
+      }
+      std::printf("(%zu shown, %llu total, %llu dropped)\n",
+                  events.size() - start,
+                  static_cast<unsigned long long>(ring.total()),
+                  static_cast<unsigned long long>(ring.dropped()));
     } else {
       std::printf("unrecognized; type 'help'\n");
     }

@@ -7,8 +7,18 @@
 // produced the log; hash-on-read adds a modest extra pass; migration
 // removes historic pages from the audited set.
 //
-//   ./bench_audit_time [txns]
+//   ./bench_audit_time [txns] [--threads=1,2,4,8]
+//
+// The --threads flag sweeps the parallel audit (sharded replay +
+// chunked final-state scan) over the given worker counts on one store,
+// reporting the speedup of the parallel phases over the serial
+// reference. Timings land in the metrics artifact as
+// audit_sweep.t<N>.* gauges (microseconds).
 
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
 #include "bench_util.h"
 
 using namespace complydb;
@@ -50,10 +60,103 @@ int AuditAfterRun(Mode mode, uint64_t txns, bool tsb) {
   return 0;
 }
 
+// Pulls `--threads=a,b,c` out of argv (before positional parsing) and
+// returns the sweep list; default 1,2,4,8.
+std::vector<uint32_t> StripThreadsFlag(int* argc, char** argv) {
+  std::vector<uint32_t> counts = {1, 2, 4, 8};
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      counts.clear();
+      std::string list = arg.substr(10);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        counts.push_back(static_cast<uint32_t>(
+            std::strtoul(list.substr(pos, comma - pos).c_str(), nullptr,
+                         10)));
+        pos = comma + 1;
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (counts.empty()) counts.push_back(1);
+  return counts;
+}
+
+// Runs one TPC-C store, then audits it repeatedly (no snapshot write, so
+// every run covers the identical epoch) at each worker count. The
+// speedup column is serial / parallel over replay + final-state — the
+// two phases the worker pool shards.
+int ThreadSweep(uint64_t txns, const std::vector<uint32_t>& counts) {
+  tpcc::Scale scale;
+  auto env = TpccEnv::Create(BenchDir("audit_threads"),
+                             Mode::kLogConsistentHashOnRead, 256, scale,
+                             /*seed=*/11, /*tsb=*/false, 0.5,
+                             /*io_latency=*/0);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  CompliantDB* db = env.value().db.get();
+  if (!env.value().RunTxns(txns).ok()) return 1;
+  if (!db->FlushAll().ok()) return 1;
+
+  AuditOptions opts;
+  opts.auditor_key = "auditor-secret-key";
+  opts.verify_read_hashes = true;
+  opts.identity_hash_check = true;
+  opts.wal_path = db->wal_path();
+
+  std::printf("\n=== parallel audit sweep (replay + final-state) ===\n");
+  std::printf("%8s %9s %9s %9s %9s %9s\n", "threads", "audit_s", "replay_s",
+              "final_s", "index_s", "speedup");
+  double serial_work = 0;
+  for (uint32_t n : counts) {
+    opts.num_threads = n;
+    Auditor auditor(opts, db->worm(), db->disk());
+    auto report = auditor.Audit(db->epoch(), /*write_snapshot=*/false);
+    if (!report.ok()) {
+      std::fprintf(stderr, "audit: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const AuditReport& r = report.value();
+    if (!r.ok()) {
+      std::fprintf(stderr, "AUDIT FAILED: %s\n", r.problems[0].c_str());
+      return 1;
+    }
+    double work = r.timings.replay_seconds + r.timings.final_state_seconds;
+    if (serial_work == 0) serial_work = work;
+    std::printf("%8u %9.3f %9.3f %9.3f %9.3f %8.2fx\n", r.threads_used,
+                r.timings.total_seconds, r.timings.replay_seconds,
+                r.timings.final_state_seconds,
+                r.timings.index_check_seconds,
+                work > 0 ? serial_work / work : 1.0);
+
+    std::string prefix = "audit_sweep.t" + std::to_string(n) + ".";
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge(prefix + "total_us")
+        ->Set(static_cast<int64_t>(r.timings.total_seconds * 1e6));
+    reg.GetGauge(prefix + "replay_us")
+        ->Set(static_cast<int64_t>(r.timings.replay_seconds * 1e6));
+    reg.GetGauge(prefix + "final_us")
+        ->Set(static_cast<int64_t>(r.timings.final_state_seconds * 1e6));
+    reg.GetGauge(prefix + "index_us")
+        ->Set(static_cast<int64_t>(r.timings.index_check_seconds * 1e6));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "audit_time");
+  std::vector<uint32_t> thread_counts = StripThreadsFlag(&argc, argv);
   Timer run_timer;
   uint64_t txns = ArgOr(argc, argv, 1, 1500);
   std::printf("=== §VII(c): audit time after %llu TPC-C transactions ===\n",
@@ -67,6 +170,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (AuditAfterRun(Mode::kLogConsistent, txns, true) != 0) return 1;
+
+  if (ThreadSweep(txns, thread_counts) != 0) return 1;
 
   std::printf("\nExpected shape: audit_s << run_s (paper: 351+104s audit vs "
               "2-3h run); hash-on-read adds replay cost; TSB shrinks the "

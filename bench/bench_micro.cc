@@ -35,6 +35,60 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(512)->Arg(4096)->Arg(65536);
 
+// Single-buffer throughput per pinned implementation. kAvx2 has no
+// single-buffer kernel (it falls back to scalar), so the per-impl cases
+// are scalar vs SHA-NI; the AVX2 lanes show up in the batch cases below.
+void Sha256ImplBench(benchmark::State& state, Sha256Impl impl) {
+  if (!Sha256ForceImpl(impl).ok()) {
+    state.SkipWithError("implementation not supported on this CPU");
+    return;
+  }
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  (void)Sha256ForceImpl(Sha256Impl::kAuto);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(Sha256ImplBench, scalar, Sha256Impl::kScalar)
+    ->Arg(64)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(Sha256ImplBench, shani, Sha256Impl::kShaNi)
+    ->Arg(64)
+    ->Arg(8192);
+
+// Batch of 8 equal-length buffers — the shape Sha256BatchHash vectorizes
+// across AVX2 lanes (and loops through SHA-NI / scalar otherwise).
+void Sha256BatchBench(benchmark::State& state, Sha256Impl impl) {
+  if (!Sha256ForceImpl(impl).ok()) {
+    state.SkipWithError("implementation not supported on this CPU");
+    return;
+  }
+  constexpr size_t kLanes = 8;
+  std::vector<std::string> bufs(
+      kLanes, std::string(static_cast<size_t>(state.range(0)), 'x'));
+  std::vector<Slice> slices;
+  for (const auto& b : bufs) slices.emplace_back(b);
+  std::vector<Sha256Digest> out(kLanes);
+  for (auto _ : state) {
+    Sha256BatchHash(slices.data(), kLanes, out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  (void)Sha256ForceImpl(Sha256Impl::kAuto);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLanes *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(Sha256BatchBench, scalar, Sha256Impl::kScalar)
+    ->Arg(64)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(Sha256BatchBench, shani, Sha256Impl::kShaNi)
+    ->Arg(64)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(Sha256BatchBench, avx2, Sha256Impl::kAvx2)
+    ->Arg(64)
+    ->Arg(8192);
+
 void BM_Sha512(benchmark::State& state) {
   std::string data(static_cast<size_t>(state.range(0)), 'x');
   for (auto _ : state) {

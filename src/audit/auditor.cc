@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <set>
 
 #include "btree/integrity.h"
 #include "btree/tuple.h"
 #include "common/coding.h"
+#include "common/thread_pool.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -76,6 +78,17 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   auto problem = [&](const std::string& what) {
     report.problems.push_back(what);
   };
+
+  // Worker pool for the replay, final-state, and index-check phases.
+  // num_threads == 1 keeps every phase on the caller thread (the serial
+  // reference path); either way the report comes out byte-identical.
+  const uint32_t nthreads =
+      options_.num_threads == 0
+          ? static_cast<uint32_t>(ThreadPool::DefaultThreads())
+          : options_.num_threads;
+  report.threads_used = nthreads;
+  std::unique_ptr<ThreadPool> pool;
+  if (nthreads > 1) pool = std::make_unique<ThreadPool>(nthreads);
 
   // ---------------------------------------------------------------- 1.
   // Previous snapshot (signed by the last audit). Epoch 0 starts empty.
@@ -191,16 +204,57 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   ropts.verify = true;
   ropts.verify_read_hashes = options_.verify_read_hashes;
   PageReplayer replayer(ropts, &summary);
-  for (const auto& page : prev.pages) {
-    replayer.SeedPage(page.tree_id, page.pgno, page.records);
+  if (nthreads <= 1) {
+    for (const auto& page : prev.pages) {
+      replayer.SeedPage(page.tree_id, page.pgno, page.records);
+    }
+    for (const auto& page : prev.index_pages) {
+      replayer.SeedIndexPage(page.tree_id, page.pgno, page.records);
+    }
+    Status rs = ScanCRecords(log_blob, [&](const CRecord& rec, uint64_t off) {
+      return replayer.Apply(rec, off);
+    });
+    if (!rs.ok()) problem("replay: " + rs.ToString());
+  } else {
+    // Sharded replay: each worker scans the whole of L but applies only
+    // the records for pages its shard owns; per-page record order is the
+    // log order either way, so every shard sees exactly the serial
+    // history of its pages. The merge re-establishes global order.
+    std::vector<std::unique_ptr<PageReplayer>> shards;
+    std::vector<Status> shard_status(nthreads, Status::OK());
+    shards.reserve(nthreads);
+    for (uint32_t i = 0; i < nthreads; ++i) {
+      PageReplayer::Options sopts = ropts;
+      sopts.shard_index = i;
+      sopts.shard_count = nthreads;
+      shards.push_back(std::make_unique<PageReplayer>(sopts, &summary));
+    }
+    pool->ParallelFor(0, nthreads, [&](size_t i) {
+      PageReplayer* shard = shards[i].get();
+      for (const auto& page : prev.pages) {
+        shard->SeedPage(page.tree_id, page.pgno, page.records);
+      }
+      for (const auto& page : prev.index_pages) {
+        shard->SeedIndexPage(page.tree_id, page.pgno, page.records);
+      }
+      shard_status[i] =
+          ScanCRecords(log_blob, [&](const CRecord& rec, uint64_t off) {
+            return shard->Apply(rec, off);
+          });
+    });
+    // Every shard scans the same blob, so a decode failure is identical
+    // across shards; report it once, as the serial path would.
+    for (uint32_t i = 0; i < nthreads; ++i) {
+      if (!shard_status[i].ok()) {
+        problem("replay: " + shard_status[i].ToString());
+        break;
+      }
+    }
+    for (auto& shard : shards) {
+      replayer.AbsorbShard(std::move(*shard));
+    }
+    replayer.FinishMerge();
   }
-  for (const auto& page : prev.index_pages) {
-    replayer.SeedIndexPage(page.tree_id, page.pgno, page.records);
-  }
-  Status rs = ScanCRecords(log_blob, [&](const CRecord& rec, uint64_t off) {
-    return replayer.Apply(rec, off);
-  });
-  if (!rs.ok()) problem("replay: " + rs.ToString());
   Status fs = replayer.Finalize();
   if (!fs.ok()) problem("replay finalize: " + fs.ToString());
   for (const auto& p : replayer.problems()) problem(p);
@@ -244,119 +298,181 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   std::map<std::pair<uint32_t, std::string>, std::vector<uint64_t>>
       shred_key_starts;
 
-  for (PageId pgno = 1; pgno < disk_->PageCount(); ++pgno) {
-    Page* page = nullptr;
-    Status fetch = cache.FetchPage(pgno, &page);
-    if (!fetch.ok()) {
-      problem("page " + std::to_string(pgno) + ": unreadable");
-      continue;
-    }
-    Page copy = *page;
-    cache.Unpin(pgno, false);
-    if (!copy.IsFormatted()) continue;
-    if (copy.type() == PageType::kBtreeInternal) {
-      // Index pages get the same replay comparison as data pages (§V).
-      ++report.pages_checked;
-      Status structure = copy.CheckStructure();
-      if (!structure.ok()) {
-        problem("index page " + std::to_string(pgno) + ": " +
-                structure.ToString());
+  // Everything one contiguous pgno range contributes. Workers fill their
+  // own chunk; chunks are folded back together in pgno order, so the
+  // merged problems, counters, and timelines equal the serial scan's.
+  struct ScanChunk {
+    std::vector<std::string> problems;
+    uint64_t pages_checked = 0;
+    uint64_t tuples_checked = 0;
+    AddHash identity;
+    std::vector<std::pair<uint32_t, PageId>> leaves;
+    std::vector<std::pair<uint32_t, PageId>> index_leaves;
+    std::map<std::pair<uint32_t, PageId>, PageReplayer::PageState> states;
+    std::map<std::pair<uint32_t, std::string>, std::vector<uint64_t>>
+        key_starts;
+  };
+
+  auto scan_pages = [&](PageId lo, PageId hi, BufferCache* c,
+                        ScanChunk* out) {
+    auto chunk_problem = [&](const std::string& what) {
+      out->problems.push_back(what);
+    };
+    for (PageId pgno = lo; pgno < hi; ++pgno) {
+      Page* page = nullptr;
+      Status fetch = c->FetchPage(pgno, &page);
+      if (!fetch.ok()) {
+        chunk_problem("page " + std::to_string(pgno) + ": unreadable");
         continue;
       }
-      PageReplayer::IndexState disk_state;
+      Page copy = *page;
+      c->Unpin(pgno, false);
+      if (!copy.IsFormatted()) continue;
+      if (copy.type() == PageType::kBtreeInternal) {
+        // Index pages get the same replay comparison as data pages (§V).
+        ++out->pages_checked;
+        Status structure = copy.CheckStructure();
+        if (!structure.ok()) {
+          chunk_problem("index page " + std::to_string(pgno) + ": " +
+                        structure.ToString());
+          continue;
+        }
+        PageReplayer::IndexState disk_state;
+        for (uint16_t i = 0; i < copy.slot_count(); ++i) {
+          Slice rec = copy.RecordAt(i);
+          auto key = PageReplayer::IndexEntrySortKey(rec);
+          if (key.ok()) {
+            disk_state[key.value()] = std::string(rec.data(), rec.size());
+          }
+        }
+        out->index_leaves.emplace_back(copy.tree_id(), pgno);
+        auto it = replayer.index_pages().find({copy.tree_id(), pgno});
+        if (it == replayer.index_pages().end()) {
+          chunk_problem("index page " + std::to_string(pgno) +
+                        ": on-disk internal node not accounted for by "
+                        "snapshot+L");
+          continue;
+        }
+        if (it->second != disk_state) {
+          chunk_problem("index page " + std::to_string(pgno) +
+                        ": entries diverge from snapshot+L replay (index "
+                        "tampering?)");
+        }
+        continue;
+      }
+      if (copy.type() != PageType::kBtreeLeaf) continue;
+
+      ++out->pages_checked;
+      uint32_t tree_id = copy.tree_id();
+      out->leaves.emplace_back(tree_id, pgno);
+
+      Status structure = copy.CheckStructure();
+      if (!structure.ok()) {
+        chunk_problem("page " + std::to_string(pgno) + ": " +
+                      structure.ToString());
+        continue;
+      }
+
+      PageReplayer::PageState disk_state;
       for (uint16_t i = 0; i < copy.slot_count(); ++i) {
         Slice rec = copy.RecordAt(i);
-        auto key = PageReplayer::IndexEntrySortKey(rec);
-        if (key.ok()) {
-          disk_state[key.value()] = std::string(rec.data(), rec.size());
+        TupleData t;
+        if (!DecodeTuple(rec, &t).ok()) {
+          chunk_problem("page " + std::to_string(pgno) + " slot " +
+                        std::to_string(i) + ": undecodable tuple");
+          continue;
         }
+        ++out->tuples_checked;
+        if (!t.stamped) {
+          chunk_problem("page " + std::to_string(pgno) +
+                        ": unstamped tuple at audit (lazy updates "
+                        "incomplete)");
+        }
+        disk_state[t.order_no] = std::string(rec.data(), rec.size());
+        if (options_.identity_hash_check) {
+          auto id = TupleIdentity(tree_id, rec, summary.stamps);
+          if (id.ok()) out->identity.Add(id.value());
+        }
+        auto sk = std::make_pair(tree_id, t.key);
+        if (shred_keys.count(sk) > 0) out->key_starts[sk].push_back(t.start);
       }
-      disk_index_leaves.insert({copy.tree_id(), pgno});
-      auto it = replayer.index_pages().find({copy.tree_id(), pgno});
-      if (it == replayer.index_pages().end()) {
-        problem("index page " + std::to_string(pgno) +
-                ": on-disk internal node not accounted for by snapshot+L");
+
+      if (options_.sort_merge_check) {
+        out->states[{tree_id, pgno}] = disk_state;
+      }
+      auto it = replayer.pages().find({tree_id, pgno});
+      if (it == replayer.pages().end()) {
+        chunk_problem("page " + std::to_string(pgno) +
+                      ": on-disk leaf not accounted for by snapshot+L "
+                      "(spurious tuples?)");
         continue;
       }
       if (it->second != disk_state) {
-        problem("index page " + std::to_string(pgno) +
-                ": entries diverge from snapshot+L replay (index "
-                "tampering?)");
-      }
-      continue;
-    }
-    if (copy.type() != PageType::kBtreeLeaf) continue;
-
-    ++report.pages_checked;
-    uint32_t tree_id = copy.tree_id();
-    disk_leaves.insert({tree_id, pgno});
-
-    Status structure = copy.CheckStructure();
-    if (!structure.ok()) {
-      problem("page " + std::to_string(pgno) + ": " + structure.ToString());
-      continue;
-    }
-
-    PageReplayer::PageState disk_state;
-    for (uint16_t i = 0; i < copy.slot_count(); ++i) {
-      Slice rec = copy.RecordAt(i);
-      TupleData t;
-      if (!DecodeTuple(rec, &t).ok()) {
-        problem("page " + std::to_string(pgno) + " slot " +
-                std::to_string(i) + ": undecodable tuple");
-        continue;
-      }
-      ++report.tuples_checked;
-      if (!t.stamped) {
-        problem("page " + std::to_string(pgno) +
-                ": unstamped tuple at audit (lazy updates incomplete)");
-      }
-      disk_state[t.order_no] = std::string(rec.data(), rec.size());
-      if (options_.identity_hash_check) {
-        auto id = TupleIdentity(tree_id, rec, summary.stamps);
-        if (id.ok()) disk_identity_hash.Add(id.value());
-      }
-      auto sk = std::make_pair(tree_id, t.key);
-      if (shred_keys.count(sk) > 0) shred_key_starts[sk].push_back(t.start);
-    }
-
-    if (options_.sort_merge_check) {
-      disk_states[{tree_id, pgno}] = disk_state;
-    }
-    auto it = replayer.pages().find({tree_id, pgno});
-    if (it == replayer.pages().end()) {
-      problem("page " + std::to_string(pgno) +
-              ": on-disk leaf not accounted for by snapshot+L (spurious "
-              "tuples?)");
-      continue;
-    }
-    if (it->second != disk_state) {
-      // Forensics: name the differing tuples (capped) so the finding
-      // points at *what* was altered, not just where.
-      std::string detail;
-      int shown = 0;
-      auto describe = [&](const std::string& rec, const char* kind) {
-        TupleData t;
-        if (shown < 4 && DecodeTuple(rec, &t).ok()) {
-          detail += std::string(detail.empty() ? "" : ", ") + kind +
-                    " key '" + t.key + "' start " + std::to_string(t.start);
-          ++shown;
+        // Forensics: name the differing tuples (capped) so the finding
+        // points at *what* was altered, not just where.
+        std::string detail;
+        int shown = 0;
+        auto describe = [&](const std::string& rec, const char* kind) {
+          TupleData t;
+          if (shown < 4 && DecodeTuple(rec, &t).ok()) {
+            detail += std::string(detail.empty() ? "" : ", ") + kind +
+                      " key '" + t.key + "' start " + std::to_string(t.start);
+            ++shown;
+          }
+        };
+        for (const auto& [order_no, rec] : it->second) {
+          auto d = disk_state.find(order_no);
+          if (d == disk_state.end()) {
+            describe(rec, "missing");
+          } else if (d->second != rec) {
+            describe(d->second, "altered");
+          }
         }
-      };
-      for (const auto& [order_no, rec] : it->second) {
-        auto d = disk_state.find(order_no);
-        if (d == disk_state.end()) {
-          describe(rec, "missing");
-        } else if (d->second != rec) {
-          describe(d->second, "altered");
+        for (const auto& [order_no, rec] : disk_state) {
+          if (it->second.count(order_no) == 0) describe(rec, "foreign");
         }
+        chunk_problem("page " + std::to_string(pgno) +
+                      ": content diverges from snapshot+L replay (" +
+                      (detail.empty() ? "structural difference" : detail) +
+                      ")");
       }
-      for (const auto& [order_no, rec] : disk_state) {
-        if (it->second.count(order_no) == 0) describe(rec, "foreign");
-      }
-      problem("page " + std::to_string(pgno) +
-              ": content diverges from snapshot+L replay (" +
-              (detail.empty() ? "structural difference" : detail) + ")");
+    }
+  };
+
+  const PageId page_count = disk_->PageCount();
+  std::vector<ScanChunk> scan_chunks;
+  if (nthreads <= 1 || page_count <= 2) {
+    scan_chunks.resize(1);
+    scan_pages(1, page_count, &cache, &scan_chunks[0]);
+  } else {
+    // Chunk by pgno; each worker reads through its own small cache
+    // (DiskManager uses pread, so concurrent page reads are safe).
+    const size_t nchunks =
+        std::min<size_t>(nthreads * 4, (page_count - 1 + 15) / 16);
+    scan_chunks.resize(std::max<size_t>(nchunks, 1));
+    const PageId span = page_count - 1;
+    const PageId per =
+        (span + static_cast<PageId>(scan_chunks.size()) - 1) /
+        static_cast<PageId>(scan_chunks.size());
+    pool->ParallelFor(0, scan_chunks.size(), [&](size_t ci) {
+      PageId lo = 1 + static_cast<PageId>(ci) * per;
+      PageId hi = std::min<PageId>(lo + per, page_count);
+      if (lo >= hi) return;
+      BufferCache local_cache(disk_, 64);
+      scan_pages(lo, hi, &local_cache, &scan_chunks[ci]);
+    });
+  }
+  for (auto& ch : scan_chunks) {
+    for (auto& p : ch.problems) report.problems.push_back(std::move(p));
+    report.pages_checked += ch.pages_checked;
+    report.tuples_checked += ch.tuples_checked;
+    disk_identity_hash.Merge(ch.identity);
+    disk_leaves.insert(ch.leaves.begin(), ch.leaves.end());
+    disk_index_leaves.insert(ch.index_leaves.begin(), ch.index_leaves.end());
+    disk_states.merge(ch.states);
+    for (auto& [sk, starts] : ch.key_starts) {
+      auto& dst = shred_key_starts[sk];
+      dst.insert(dst.end(), starts.begin(), starts.end());
     }
   }
   // Every replayed page must exist on disk.
@@ -432,15 +548,34 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   // ---------------------------------------------------------------- 5.
   // Index integrity (§IV-C, Fig. 2) per tree.
   t0 = std::chrono::steady_clock::now();
-  for (const auto& [tree_id, info] : trees) {
-    auto r = CheckTreeIntegrity(&cache, tree_id, info.root);
-    if (!r.ok()) {
-      problem("tree " + std::to_string(tree_id) + ": " +
-              r.status().ToString());
-      continue;
+  {
+    std::vector<std::pair<uint32_t, Snapshot::TreeInfo>> tree_list(
+        trees.begin(), trees.end());
+    std::vector<std::vector<std::string>> tree_problems(tree_list.size());
+    auto check_tree = [&](size_t i, BufferCache* c) {
+      const auto& [tree_id, info] = tree_list[i];
+      auto r = CheckTreeIntegrity(c, tree_id, info.root);
+      if (!r.ok()) {
+        tree_problems[i].push_back("tree " + std::to_string(tree_id) + ": " +
+                                   r.status().ToString());
+        return;
+      }
+      for (const auto& p : r.value().problems) {
+        tree_problems[i].push_back("tree " + std::to_string(tree_id) + ": " +
+                                   p);
+      }
+    };
+    if (nthreads <= 1) {
+      for (size_t i = 0; i < tree_list.size(); ++i) check_tree(i, &cache);
+    } else {
+      pool->ParallelFor(0, tree_list.size(), [&](size_t i) {
+        BufferCache local_cache(disk_, 64);
+        check_tree(i, &local_cache);
+      });
     }
-    for (const auto& p : r.value().problems) {
-      problem("tree " + std::to_string(tree_id) + ": " + p);
+    // Emit in tree-id order regardless of completion order.
+    for (auto& plist : tree_problems) {
+      for (auto& p : plist) report.problems.push_back(std::move(p));
     }
   }
   report.timings.index_check_seconds = SecondsSince(t0);

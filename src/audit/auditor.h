@@ -43,6 +43,12 @@ struct AuditOptions {
   std::string wal_path;
   RetentionResolver retention_resolver;  // may be null: skip expiry checks
   HoldResolver hold_resolver;            // may be null: skip hold checks
+  /// Worker threads for the replay, final-state, and index-check phases.
+  /// 1 = the serial reference path (default); 0 = hardware_concurrency.
+  /// Any value produces a byte-identical report: replay shards by
+  /// (tree_id, pgno), the database scan chunks by pgno, and both merge
+  /// deterministically.
+  uint32_t num_threads = 1;
 };
 
 struct AuditTimings {
@@ -68,6 +74,9 @@ struct AuditReport {
   uint64_t shreds_verified = 0;
   uint64_t migrations_verified = 0;
   uint64_t identity_checks_run = 0;
+  /// Worker threads the parallel phases actually ran with (informational;
+  /// not part of the deterministic verdict).
+  uint32_t threads_used = 1;
 
   bool ok() const { return problems.empty(); }
 };

@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace complydb {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Gauge* active;
+  obs::Counter* tasks;
+  obs::Histogram* task_us;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = {
+      obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth"),
+      obs::MetricsRegistry::Global().GetGauge("threadpool.active"),
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks"),
+      obs::MetricsRegistry::Global().GetHistogram("threadpool.task_us"),
+  };
+  return m;
+}
+
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(queue_capacity, 1)) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < queue_capacity_ || shutting_down_;
+    });
+    if (shutting_down_) {
+      throw std::runtime_error("ThreadPool: Submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+    Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
+    not_full_.notify_one();
+    Metrics().active->Add(1);
+    {
+      obs::ScopedLatencyTimer timer(Metrics().task_us);
+      task();
+    }
+    Metrics().active->Add(-1);
+    Metrics().tasks->Inc();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn,
+                             size_t max_chunks) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  if (max_chunks == 0) max_chunks = workers_.size() * 4;
+  const size_t nchunks = std::min(total, std::max<size_t>(max_chunks, 1));
+  const size_t chunk = (total + nchunks - 1) / nchunks;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = 0;
+  std::exception_ptr first_error = nullptr;
+
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = std::min(lo + chunk, end);
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      ++pending;
+    }
+    Submit([&, lo, hi] {
+      std::exception_ptr err = nullptr;
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      {
+        std::unique_lock<std::mutex> lock(done_mu);
+        if (err != nullptr && first_error == nullptr) first_error = err;
+        --pending;
+      }
+      done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace complydb

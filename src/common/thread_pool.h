@@ -1,0 +1,81 @@
+#ifndef COMPLYDB_COMMON_THREAD_POOL_H_
+#define COMPLYDB_COMMON_THREAD_POOL_H_
+
+// Fixed-size worker pool with a bounded task queue.
+//
+// Built for the auditor's sharded replay and final-state scan: a handful
+// of long-lived workers, tasks submitted in bursts, and a ParallelFor
+// that blocks the caller until every index ran (re-throwing the first
+// worker exception). The queue bound applies backpressure instead of
+// letting a fast producer buffer unbounded closures.
+//
+// Instrumented through the obs registry:
+//   threadpool.queue_depth   gauge      tasks waiting in the queue
+//   threadpool.active        gauge      tasks currently executing
+//   threadpool.tasks         counter    tasks completed
+//   threadpool.task_us       histogram  per-task execution latency
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace complydb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1). `queue_capacity` bounds
+  /// the number of queued-but-not-started tasks; Submit blocks when full.
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+
+  /// Drains the queue, then joins the workers. Tasks already submitted
+  /// all run; new Submits are rejected with std::runtime_error.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; blocks while the queue is at capacity.
+  void Submit(std::function<void()> task);
+
+  /// Stops accepting new tasks, drains the queue, and joins the workers.
+  /// Idempotent; the destructor calls it. Concurrent Submit calls either
+  /// enqueue before the cut (and run) or throw.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  /// chunks across the workers, and blocks until all of them finished.
+  /// If any invocation throws, the first exception (in completion order)
+  /// is re-thrown on the caller after every chunk has finished — the
+  /// remaining indexes still run, so partial side effects are bounded by
+  /// the caller's own chunk logic, not by cancellation races.
+  ///
+  /// `max_chunks` caps the number of submitted chunks (0 = 4x workers,
+  /// which keeps the tail balanced without flooding the queue).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn,
+                   size_t max_chunks = 0);
+
+  /// Default worker count: hardware_concurrency, at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  size_t queue_capacity_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMMON_THREAD_POOL_H_

@@ -75,12 +75,37 @@ Status SummarizeLogBlob(Slice blob, LogSummary* out) {
   });
 }
 
+namespace {
+
+// Sentinel offset for problems emitted outside the log scan (Finalize):
+// sorts after every real offset so the merged order matches serial.
+constexpr uint64_t kNoOffset = ~0ull;
+
+}  // namespace
+
 void PageReplayer::Problem(const std::string& what) {
-  if (opts_.verify) problems_.push_back(what);
+  if (opts_.verify) {
+    problems_.push_back(what);
+    problem_offsets_.push_back(current_offset_);
+  }
+}
+
+bool PageReplayer::Owns(uint32_t tree_id, PageId pgno) const {
+  if (opts_.shard_count <= 1) return true;
+  // Fixed avalanche mix (splitmix64 finalizer) — the assignment must be
+  // identical across runs and thread counts for determinism.
+  uint64_t x = (static_cast<uint64_t>(tree_id) << 32) ^ pgno;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x % opts_.shard_count == opts_.shard_index;
 }
 
 void PageReplayer::SeedPage(uint32_t tree_id, PageId pgno,
                             const std::vector<std::string>& records) {
+  if (!Owns(tree_id, pgno)) return;
   PageState& state = pages_[{tree_id, pgno}];
   state.clear();
   for (const auto& r : records) {
@@ -90,11 +115,13 @@ void PageReplayer::SeedPage(uint32_t tree_id, PageId pgno,
 }
 
 void PageReplayer::SeedEmptyPage(uint32_t tree_id, PageId pgno) {
+  if (!Owns(tree_id, pgno)) return;
   pages_[{tree_id, pgno}];
 }
 
 void PageReplayer::SeedIndexPage(uint32_t tree_id, PageId pgno,
                                  const std::vector<std::string>& entries) {
+  if (!Owns(tree_id, pgno)) return;
   IndexState& state = index_pages_[{tree_id, pgno}];
   state.clear();
   for (const auto& e : entries) {
@@ -120,7 +147,57 @@ Sha256Digest PageReplayer::HashIndexState(const IndexState& state) {
   return SeqHash::Compute(elems);
 }
 
+void PageReplayer::AbsorbShard(PageReplayer&& other) {
+  // Page maps are disjoint: each (tree_id, pgno) has exactly one owner.
+  pages_.merge(other.pages_);
+  index_pages_.merge(other.index_pages_);
+  // Every shard records the same tree roots (kNewTree is unsharded).
+  tree_roots_.insert(other.tree_roots_.begin(), other.tree_roots_.end());
+  for (auto& m : other.migrations_) migrations_.push_back(std::move(m));
+  for (size_t i = 0; i < other.problems_.size(); ++i) {
+    problems_.push_back(std::move(other.problems_[i]));
+    problem_offsets_.push_back(other.problem_offsets_[i]);
+  }
+  for (auto& p : other.pending_move_checks_) {
+    pending_move_checks_.push_back(std::move(p));
+  }
+  read_hashes_checked_ += other.read_hashes_checked_;
+  identity_delta_.Merge(other.identity_delta_);
+  migrated_delta_.Merge(other.migrated_delta_);
+}
+
+void PageReplayer::FinishMerge() {
+  std::stable_sort(
+      migrations_.begin(), migrations_.end(),
+      [](const MigrationRecord& a, const MigrationRecord& b) {
+        return a.offset < b.offset;
+      });
+  std::stable_sort(pending_move_checks_.begin(), pending_move_checks_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second < b.second;
+                   });
+  // Re-order problems by offset. At most one shard emits for any given
+  // offset (multi-page records report through the old page's owner), so a
+  // stable sort on the offset tags reproduces the serial emission order.
+  std::vector<size_t> idx(problems_.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [this](size_t a, size_t b) {
+    return problem_offsets_[a] < problem_offsets_[b];
+  });
+  std::vector<std::string> sorted_problems;
+  std::vector<uint64_t> sorted_offsets;
+  sorted_problems.reserve(idx.size());
+  sorted_offsets.reserve(idx.size());
+  for (size_t i : idx) {
+    sorted_problems.push_back(std::move(problems_[i]));
+    sorted_offsets.push_back(problem_offsets_[i]);
+  }
+  problems_ = std::move(sorted_problems);
+  problem_offsets_ = std::move(sorted_offsets);
+}
+
 Status PageReplayer::Finalize() {
+  current_offset_ = kNoOffset;
   if (!opts_.verify || pending_move_checks_.empty() || summary_ == nullptr) {
     return Status::OK();
   }
@@ -149,6 +226,7 @@ Sha256Digest PageReplayer::HashPageState(const PageState& state) {
 }
 
 Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
+  current_offset_ = offset;
   auto list_to_state = [](const std::vector<std::string>& entries,
                           PageState* state) {
     state->clear();
@@ -165,6 +243,7 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
       break;
     }
     case CRecordType::kNewTuple: {
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       TupleData t;
       Status s = DecodeTuple(rec.tuple, &t);
       if (!s.ok()) {
@@ -203,6 +282,7 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
       break;
     }
     case CRecordType::kUndo: {
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       TupleData t;
       Status s = DecodeTuple(rec.tuple, &t);
       if (!s.ok()) {
@@ -257,6 +337,7 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
       break;
     }
     case CRecordType::kStampPage: {
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       PageState& state = pages_[{rec.tree_id, rec.pgno}];
       auto it = state.find(rec.order_no);
       if (it == state.end()) {
@@ -287,8 +368,14 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
       break;
     }
     case CRecordType::kPageSplit: {
+      // Touches two pages; each owner applies its half. The union
+      // cross-check needs the pre-image, which only the old page's owner
+      // holds, so that shard alone emits the problem.
       PageKey old_key{rec.tree_id, rec.pgno};
-      if (opts_.verify) {
+      const bool owns_old = Owns(rec.tree_id, rec.pgno);
+      const bool owns_new = Owns(rec.tree_id, rec.new_pgno);
+      if (!owns_old && !owns_new) break;
+      if (owns_old && opts_.verify) {
         // Union of the two post-split pages must equal the old page.
         PageState expect = pages_[old_key];
         PageState combined;
@@ -306,13 +393,18 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
                   std::to_string(rec.pgno));
         }
       }
-      list_to_state(rec.entries_a, &pages_[old_key]);
-      list_to_state(rec.entries_b, &pages_[{rec.tree_id, rec.new_pgno}]);
+      if (owns_old) list_to_state(rec.entries_a, &pages_[old_key]);
+      if (owns_new) {
+        list_to_state(rec.entries_b, &pages_[{rec.tree_id, rec.new_pgno}]);
+      }
       break;
     }
     case CRecordType::kRootGrow: {
+      // Touches three pages (old root + two new leaves); same piecewise
+      // ownership split as PAGE_SPLIT.
       PageKey root_key{rec.tree_id, rec.pgno};
-      if (opts_.verify) {
+      const bool owns_root = Owns(rec.tree_id, rec.pgno);
+      if (owns_root && opts_.verify) {
         PageState expect = pages_[root_key];
         PageState combined;
         for (const auto& r : rec.entries_a) {
@@ -329,12 +421,17 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
                   std::to_string(rec.tree_id));
         }
       }
-      pages_.erase(root_key);  // the root is an internal node now
-      list_to_state(rec.entries_a, &pages_[{rec.tree_id, rec.new_pgno}]);
-      list_to_state(rec.entries_b, &pages_[{rec.tree_id, rec.third_pgno}]);
+      if (owns_root) pages_.erase(root_key);  // now an internal node
+      if (Owns(rec.tree_id, rec.new_pgno)) {
+        list_to_state(rec.entries_a, &pages_[{rec.tree_id, rec.new_pgno}]);
+      }
+      if (Owns(rec.tree_id, rec.third_pgno)) {
+        list_to_state(rec.entries_b, &pages_[{rec.tree_id, rec.third_pgno}]);
+      }
       break;
     }
     case CRecordType::kMigrate: {
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       PageState& state = pages_[{rec.tree_id, rec.pgno}];
       for (const auto& r : rec.entries_a) {
         TupleData t;
@@ -360,10 +457,12 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
       m.live_pgno = rec.pgno;
       m.hist_name = rec.name;
       m.entries = rec.entries_a;
+      m.offset = offset;
       migrations_.push_back(std::move(m));
       break;
     }
     case CRecordType::kIndexAdd: {
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       auto key = IndexEntrySortKey(rec.tuple);
       if (!key.ok()) {
         Problem("offset " + std::to_string(offset) +
@@ -384,6 +483,7 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
       break;
     }
     case CRecordType::kIndexRemove: {
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       auto key = IndexEntrySortKey(rec.tuple);
       if (!key.ok()) {
         Problem("offset " + std::to_string(offset) +
@@ -396,6 +496,7 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
     }
     case CRecordType::kReadHashIndex: {
       if (!opts_.verify_read_hashes) break;
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       ++read_hashes_checked_;
       const IndexState& state = index_pages_[{rec.tree_id, rec.pgno}];
       Sha256Digest expect = HashIndexState(state);
@@ -411,6 +512,7 @@ Status PageReplayer::Apply(const CRecord& rec, uint64_t offset) {
     }
     case CRecordType::kReadHash: {
       if (!opts_.verify_read_hashes) break;
+      if (!Owns(rec.tree_id, rec.pgno)) break;
       ++read_hashes_checked_;
       const PageState& state = pages_[{rec.tree_id, rec.pgno}];
       Sha256Digest expect = HashPageState(state);

@@ -33,6 +33,9 @@ struct MigrationRecord {
   PageId live_pgno = kInvalidPage;
   std::string hist_name;
   std::vector<std::string> entries;
+  /// L offset of the MIGRATE record; shard merging sorts on it so the
+  /// merged list reproduces the serial log order.
+  uint64_t offset = 0;
 };
 
 /// Prepass summary of one epoch's L: transaction outcomes and shred
@@ -58,6 +61,15 @@ Status SummarizeLogBlob(Slice blob, LogSummary* out);
 /// is unique for a page's lifetime), an aborted tuple is simply present
 /// between its NEW_TUPLE and its UNDO — exactly mirroring the physical
 /// page — so READ hashes verify with no hash-chain rollback.
+///
+/// Sharded replay: every record in L names the page(s) it touches, and
+/// records for different pages never interact until Finalize — so N
+/// replayers can each scan the whole log applying only the records whose
+/// pages hash into their shard, then be merged (AbsorbShard +
+/// FinishMerge) into a state identical to the serial replay. Records
+/// that touch two or three pages (PAGE_SPLIT, ROOT_GROW) are applied
+/// piecewise by each page's owner; the union cross-check runs on the old
+/// page's owner, which is the only shard holding the pre-image.
 class PageReplayer {
  public:
   struct Options {
@@ -66,6 +78,11 @@ class PageReplayer {
     /// logger replays with verify=false just to rebuild its diff baseline.
     bool verify = false;
     bool verify_read_hashes = false;
+    /// Sharded replay: this replayer applies only records for pages with
+    /// Owns(tree_id, pgno). shard_count == 1 is the serial reference
+    /// path and applies everything.
+    uint32_t shard_index = 0;
+    uint32_t shard_count = 1;
   };
 
   using PageKey = std::pair<uint32_t, PageId>;  // (tree_id, pgno)
@@ -89,6 +106,22 @@ class PageReplayer {
   void SeedEmptyPage(uint32_t tree_id, PageId pgno);
 
   Status Apply(const CRecord& rec, uint64_t offset);
+
+  /// True when this replayer's shard owns (tree_id, pgno). With
+  /// shard_count == 1 every page is owned.
+  bool Owns(uint32_t tree_id, PageId pgno) const;
+
+  /// Folds a sibling shard's state into this one. Page maps are disjoint
+  /// by construction (each page has exactly one owner); deltas merge
+  /// commutatively; offset-tagged lists concatenate. Call FinishMerge
+  /// once after absorbing every shard, then Finalize.
+  void AbsorbShard(PageReplayer&& other);
+
+  /// Restores serial order after AbsorbShard: migrations, problems, and
+  /// pending checks are re-sorted by their L offsets. At most one shard
+  /// emits problems for a given offset, so a stable sort reproduces the
+  /// serial problem list byte for byte.
+  void FinishMerge();
 
   /// Verify mode: run after the full scan. Resolves deferred UNDO
   /// justifications — a stamped tuple's UNDO with no SHREDDED record is
@@ -129,6 +162,10 @@ class PageReplayer {
   std::map<uint32_t, PageId> tree_roots_;
   std::vector<MigrationRecord> migrations_;
   std::vector<std::string> problems_;
+  // L offset of each problems_ entry (parallel vector); Finalize-time
+  // problems use kNoOffset so they stay last after the merge sort.
+  std::vector<uint64_t> problem_offsets_;
+  uint64_t current_offset_ = 0;
   uint64_t read_hashes_checked_ = 0;
   AddHash identity_delta_;
   AddHash migrated_delta_;

@@ -1,5 +1,7 @@
 #include "crypto/seq_hash.h"
 
+#include <cstring>
+
 namespace complydb {
 
 Sha256Digest SeqHash::Empty() {
@@ -8,15 +10,19 @@ Sha256Digest SeqHash::Empty() {
 }
 
 Sha256Digest SeqHash::Compute(const std::vector<Slice>& elements) {
+  // The chain itself is inherently serial, but the inner digests h(r_i)
+  // are independent — batch them so the SIMD multi-buffer path applies.
+  std::vector<Sha256Digest> inner(elements.size());
+  Sha256BatchHash(elements.data(), elements.size(), inner.data());
+
   // Right fold per the definition: start from Hs() = 0^32 and wrap from the
   // last element backwards.
   Sha256Digest acc = Empty();
+  uint8_t chain[64];
   for (size_t i = elements.size(); i-- > 0;) {
-    Sha256Digest inner = Sha256::Hash(elements[i]);
-    Sha256 outer;
-    outer.Update(Slice(reinterpret_cast<const char*>(inner.data()), inner.size()));
-    outer.Update(Slice(reinterpret_cast<const char*>(acc.data()), acc.size()));
-    acc = outer.Finish();
+    std::memcpy(chain, inner[i].data(), 32);
+    std::memcpy(chain + 32, acc.data(), 32);
+    acc = Sha256::Hash(Slice(reinterpret_cast<const char*>(chain), 64));
   }
   return acc;
 }

@@ -1,80 +1,65 @@
 #include "crypto/sha256.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "crypto/sha256_kernels.h"
+#include "obs/metrics.h"
 
 namespace complydb {
 
 namespace {
 
-constexpr std::array<uint32_t, 64> kK = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+constexpr std::array<uint32_t, 8> kInitState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
-inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline void StoreDigestBigEndian(const uint32_t state[8], Sha256Digest* out) {
+  for (int i = 0; i < 8; ++i) {
+    (*out)[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+    (*out)[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+    (*out)[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+    (*out)[4 * i + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
+// One-shot hash of a single buffer through an explicit block kernel.
+// Avoids the incremental object's buffering on the hot batch path.
+void OneShot(Sha256BlockFn block_fn, const uint8_t* data, size_t len,
+             Sha256Digest* out) {
+  uint32_t state[8];
+  std::memcpy(state, kInitState.data(), sizeof(state));
+
+  const size_t nfull = len / 64;
+  if (nfull > 0) block_fn(state, data, nfull);
+
+  // Padded tail: the remaining bytes, 0x80, zeros, and the 64-bit
+  // big-endian bit length — one block if rem <= 55, two otherwise.
+  const size_t rem = len - nfull * 64;
+  uint8_t tail[128];
+  std::memcpy(tail, data + nfull * 64, rem);
+  tail[rem] = 0x80;
+  const size_t tail_blocks = (rem + 9 <= 64) ? 1 : 2;
+  std::memset(tail + rem + 1, 0, tail_blocks * 64 - rem - 1 - 8);
+  const uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_blocks * 64 - 8 + i] =
+        static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  block_fn(state, tail, tail_blocks);
+  StoreDigestBigEndian(state, out);
+}
 
 }  // namespace
 
 void Sha256::Reset() {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  state_ = kInitState;
   total_len_ = 0;
   buffer_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
-           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 void Sha256::Update(Slice data) {
+  const Sha256BlockFn block_fn = Sha256ActiveBlockFn();
   const auto* p = reinterpret_cast<const uint8_t*>(data.data());
   size_t n = data.size();
   total_len_ += n;
@@ -86,14 +71,15 @@ void Sha256::Update(Slice data) {
     p += take;
     n -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_.data());
+      block_fn(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (n >= 64) {
-    ProcessBlock(p);
-    p += 64;
-    n -= 64;
+  if (n >= 64) {
+    const size_t nblocks = n / 64;
+    block_fn(state_.data(), p, nblocks);
+    p += nblocks * 64;
+    n -= nblocks * 64;
   }
   if (n > 0) {
     std::memcpy(buffer_.data(), p, n);
@@ -113,20 +99,123 @@ Sha256Digest Sha256::Finish() {
   Update(Slice(reinterpret_cast<const char*>(pad), pad_len + 8));
 
   Sha256Digest out;
-  for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<uint8_t>(state_[i]);
-  }
+  StoreDigestBigEndian(state_.data(), &out);
   Reset();
   return out;
 }
 
 Sha256Digest Sha256::Hash(Slice data) {
-  Sha256 h;
-  h.Update(data);
-  return h.Finish();
+  Sha256Digest out;
+  OneShot(Sha256ActiveBlockFn(),
+          reinterpret_cast<const uint8_t*>(data.data()), data.size(), &out);
+  return out;
+}
+
+// ------------------------------------------------------------------ batch
+
+#if defined(__x86_64__) || defined(__i386__)
+namespace {
+
+// Per-lane cursor for the AVX2 multi-buffer walk. Lanes advance in
+// lockstep one block at a time; a lane whose message is shorter than the
+// group's longest parks on a zero block and a scratch state so the
+// transform stays branch-free.
+struct BatchLane {
+  const uint8_t* data = nullptr;
+  size_t nfull = 0;    // complete 64-byte blocks taken from `data`
+  size_t nblocks = 0;  // nfull + 1-or-2 padded tail blocks
+  uint8_t tail[128];
+  uint32_t state[8];
+};
+
+void PrepareLane(BatchLane* lane, Slice input) {
+  const auto* p = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t len = input.size();
+  lane->data = p;
+  lane->nfull = len / 64;
+  const size_t rem = len - lane->nfull * 64;
+  const size_t tail_blocks = (rem + 9 <= 64) ? 1 : 2;
+  lane->nblocks = lane->nfull + tail_blocks;
+  std::memcpy(lane->tail, p + lane->nfull * 64, rem);
+  lane->tail[rem] = 0x80;
+  std::memset(lane->tail + rem + 1, 0, tail_blocks * 64 - rem - 1 - 8);
+  const uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    lane->tail[tail_blocks * 64 - 8 + i] =
+        static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  std::memcpy(lane->state, kInitState.data(), sizeof(lane->state));
+}
+
+// Hashes exactly eight buffers through the AVX2 lanes.
+void BatchGroupAvx2(const Slice* inputs, Sha256Digest* out) {
+  BatchLane lanes[8];
+  size_t max_blocks = 0;
+  for (int l = 0; l < 8; ++l) {
+    PrepareLane(&lanes[l], inputs[l]);
+    max_blocks = std::max(max_blocks, lanes[l].nblocks);
+  }
+
+  static const uint8_t kZeroBlock[64] = {0};
+  uint32_t scratch[8];
+
+  for (size_t b = 0; b < max_blocks; ++b) {
+    uint32_t* states[8];
+    const uint8_t* blocks[8];
+    for (int l = 0; l < 8; ++l) {
+      BatchLane& lane = lanes[l];
+      if (b < lane.nfull) {
+        states[l] = lane.state;
+        blocks[l] = lane.data + 64 * b;
+      } else if (b < lane.nblocks) {
+        states[l] = lane.state;
+        blocks[l] = lane.tail + 64 * (b - lane.nfull);
+      } else {
+        std::memcpy(scratch, kInitState.data(), sizeof(scratch));
+        states[l] = scratch;
+        blocks[l] = kZeroBlock;
+      }
+    }
+    Sha256BlockAvx2x8(states, blocks);
+  }
+  for (int l = 0; l < 8; ++l) {
+    StoreDigestBigEndian(lanes[l].state, &out[l]);
+  }
+}
+
+}  // namespace
+#endif  // defined(__x86_64__) || defined(__i386__)
+
+void Sha256BatchHash(const Slice* inputs, size_t n, Sha256Digest* out) {
+  if (n == 0) return;
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Global().GetCounter("crypto.sha256.batch.calls");
+  static obs::Counter* buffers =
+      obs::MetricsRegistry::Global().GetCounter("crypto.sha256.batch.buffers");
+  calls->Inc();
+  buffers->Inc(n);
+
+  size_t i = 0;
+#if defined(__x86_64__) || defined(__i386__)
+  if (Sha256ActiveBatchImpl() == Sha256Impl::kAvx2) {
+    for (; i + 8 <= n; i += 8) {
+      BatchGroupAvx2(inputs + i, out + i);
+    }
+  }
+#endif
+  // Remainder (and the whole batch on scalar/SHA-NI dispatch): loop the
+  // fastest single-stream kernel.
+  const Sha256BlockFn block_fn = Sha256ActiveBlockFn();
+  for (; i < n; ++i) {
+    OneShot(block_fn, reinterpret_cast<const uint8_t*>(inputs[i].data()),
+            inputs[i].size(), &out[i]);
+  }
+}
+
+std::vector<Sha256Digest> Sha256BatchHash(const std::vector<Slice>& inputs) {
+  std::vector<Sha256Digest> out(inputs.size());
+  Sha256BatchHash(inputs.data(), inputs.size(), out.data());
+  return out;
 }
 
 std::string ToHex(Slice data) {

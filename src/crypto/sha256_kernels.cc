@@ -1,0 +1,179 @@
+#include "crypto/sha256_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace complydb {
+
+const uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+namespace {
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* blocks,
+                        size_t nblocks) {
+  while (nblocks-- > 0) {
+    const uint8_t* block = blocks;
+    blocks += 64;
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+             (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
+      uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+const char* Sha256ImplName(Sha256Impl impl) {
+  switch (impl) {
+    case Sha256Impl::kAuto:
+      return "auto";
+    case Sha256Impl::kScalar:
+      return "scalar";
+    case Sha256Impl::kShaNi:
+      return "shani";
+    case Sha256Impl::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool Sha256CpuHasShaNi() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sha") != 0 &&
+         __builtin_cpu_supports("sse4.1") != 0;
+#else
+  return false;
+#endif
+}
+
+bool Sha256CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+Sha256Impl BestSupported() {
+  if (Sha256CpuHasShaNi()) return Sha256Impl::kShaNi;
+  if (Sha256CpuHasAvx2()) return Sha256Impl::kAvx2;
+  return Sha256Impl::kScalar;
+}
+
+Sha256Impl FromEnv() {
+  const char* v = std::getenv("COMPLYDB_SHA256_IMPL");
+  if (v == nullptr) return BestSupported();
+  std::string s(v);
+  if (s == "scalar") return Sha256Impl::kScalar;
+  if (s == "shani" && Sha256CpuHasShaNi()) return Sha256Impl::kShaNi;
+  if (s == "avx2" && Sha256CpuHasAvx2()) return Sha256Impl::kAvx2;
+  // Unknown or unsupported value: fall back to the CPU's best. A bad env
+  // var must never crash the engine or silently weaken hashing.
+  return BestSupported();
+}
+
+// The pinned implementation family. Resolved lazily from the environment
+// on first use; Sha256ForceImpl overwrites it.
+std::atomic<Sha256Impl>& PinnedImpl() {
+  static std::atomic<Sha256Impl> impl{FromEnv()};
+  return impl;
+}
+
+}  // namespace
+
+Status Sha256ForceImpl(Sha256Impl impl) {
+  switch (impl) {
+    case Sha256Impl::kAuto:
+      PinnedImpl().store(BestSupported(), std::memory_order_relaxed);
+      return Status::OK();
+    case Sha256Impl::kScalar:
+      break;
+    case Sha256Impl::kShaNi:
+      if (!Sha256CpuHasShaNi()) {
+        return Status::InvalidArgument("CPU lacks SHA-NI");
+      }
+      break;
+    case Sha256Impl::kAvx2:
+      if (!Sha256CpuHasAvx2()) {
+        return Status::InvalidArgument("CPU lacks AVX2");
+      }
+      break;
+  }
+  PinnedImpl().store(impl, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Sha256Impl Sha256ActiveImpl() {
+  Sha256Impl impl = PinnedImpl().load(std::memory_order_relaxed);
+  // AVX2 is a batch-only kernel: one buffer cannot fill eight lanes.
+  if (impl == Sha256Impl::kAvx2) return Sha256Impl::kScalar;
+  return impl;
+}
+
+Sha256Impl Sha256ActiveBatchImpl() {
+  return PinnedImpl().load(std::memory_order_relaxed);
+}
+
+Sha256BlockFn Sha256ActiveBlockFn() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (Sha256ActiveImpl() == Sha256Impl::kShaNi) return Sha256BlocksShaNi;
+#endif
+  return Sha256BlocksScalar;
+}
+
+}  // namespace complydb

@@ -1,0 +1,84 @@
+#ifndef COMPLYDB_CRYPTO_SHA256_KERNELS_H_
+#define COMPLYDB_CRYPTO_SHA256_KERNELS_H_
+
+// SHA-256 compression kernels behind runtime CPU dispatch.
+//
+// Three block functions share one contract: fold `nblocks` contiguous
+// 64-byte blocks into `state` (eight working words, host byte order).
+//   * scalar  — portable FIPS 180-4 loop, always available, the
+//               reference implementation every other kernel is tested
+//               against;
+//   * SHA-NI  — x86 SHA extensions (one block pipelined through
+//               _mm_sha256rnds2_epu32), ~an order of magnitude faster
+//               than scalar on supporting parts;
+//   * AVX2 ×8 — eight *independent* messages in the lanes of 256-bit
+//               vectors; only reachable through the batch API because a
+//               single buffer cannot fill the lanes.
+//
+// Dispatch is resolved once per process: CPUID first, then the
+// COMPLYDB_SHA256_IMPL environment variable ("scalar", "shani", "avx2",
+// "auto") which can *restrict* but never enable an unsupported kernel —
+// tests and benchmarks use it to pin a path.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace complydb {
+
+/// Folds `nblocks` contiguous 64-byte blocks into `state`.
+using Sha256BlockFn = void (*)(uint32_t state[8], const uint8_t* blocks,
+                               size_t nblocks);
+
+/// Round constants (FIPS 180-4 §4.2.2), shared by every kernel.
+extern const uint32_t kSha256K[64];
+
+/// Portable reference kernel.
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* blocks,
+                        size_t nblocks);
+
+/// Which kernel family backs single-buffer and batch hashing.
+enum class Sha256Impl : uint8_t {
+  kAuto = 0,   // pick the best the CPU supports (default)
+  kScalar = 1,
+  kShaNi = 2,  // x86 SHA extensions
+  kAvx2 = 3,   // 8-way multi-buffer (batch only; single buffer = scalar)
+};
+
+const char* Sha256ImplName(Sha256Impl impl);
+
+/// CPUID capability probes (false on non-x86 builds).
+bool Sha256CpuHasShaNi();
+bool Sha256CpuHasAvx2();
+
+#if defined(__x86_64__) || defined(__i386__)
+/// x86 SHA-extensions kernel. Call only when Sha256CpuHasShaNi().
+void Sha256BlocksShaNi(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks);
+
+/// AVX2 8-lane multi-buffer transform: one 64-byte block per lane.
+/// `states[lane]` points at that lane's 8 working words; `blocks[lane]`
+/// at its next block. Lanes are fully independent messages. Call only
+/// when Sha256CpuHasAvx2().
+void Sha256BlockAvx2x8(uint32_t* states[8], const uint8_t* blocks[8]);
+#endif
+
+/// Forces the dispatch to `impl` for this process (tests/benchmarks).
+/// InvalidArgument if the CPU cannot run it. kAuto restores CPU-best.
+Status Sha256ForceImpl(Sha256Impl impl);
+
+/// The implementation single-buffer hashing currently resolves to
+/// (kScalar or kShaNi — kAvx2 pins batch hashing but single-buffer
+/// reports kScalar).
+Sha256Impl Sha256ActiveImpl();
+
+/// The implementation the batch API currently resolves to.
+Sha256Impl Sha256ActiveBatchImpl();
+
+/// Block function for single-buffer hashing under the active dispatch.
+Sha256BlockFn Sha256ActiveBlockFn();
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_CRYPTO_SHA256_KERNELS_H_

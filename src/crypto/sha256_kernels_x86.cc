@@ -1,0 +1,213 @@
+// x86 SHA-256 kernels: SHA-NI single-stream and AVX2 8-lane multi-buffer.
+//
+// Both are compiled with per-function target attributes so the translation
+// unit builds on any x86 toolchain flags; callers must gate on the
+// Sha256CpuHas*() probes (the dispatch in sha256_kernels.cc does).
+
+#include "crypto/sha256_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace complydb {
+
+// ---------------------------------------------------------------- SHA-NI
+// Canonical SHA-extensions schedule: the 64 rounds run as 16 quads of 4
+// through _mm_sha256rnds2_epu32, with the message schedule kept in a
+// 4-register ring (msgs[q & 3] holds message quad W[4q..4q+3]).
+
+__attribute__((target("sha,sse4.1")))
+void Sha256BlocksShaNi(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack the linear a..h state into the ABEF/CDGH register layout the
+  // rnds2 instruction wants.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msgs[4];
+
+    // Quads 0-2: load + byteswap, rounds, and seed the msg1 partials.
+    for (int q = 0; q < 3; ++q) {
+      msgs[q] = _mm_shuffle_epi8(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(blocks + 16 * q)),
+          kByteSwap);
+      __m128i m = _mm_add_epi32(
+          msgs[q], _mm_loadu_si128(
+                       reinterpret_cast<const __m128i*>(&kSha256K[4 * q])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+      m = _mm_shuffle_epi32(m, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+      if (q >= 1) {
+        msgs[q - 1] = _mm_sha256msg1_epu32(msgs[q - 1], msgs[q]);
+      }
+    }
+    msgs[3] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)),
+        kByteSwap);
+
+    // Quads 3-15: run quad q's rounds while building W-quad q+1 one quad
+    // ahead: W[q+1] = msg2(msg1(W[q-3],W[q-2]) + alignr(W[q],W[q-1]),
+    // W[q]); the trailing msg1 seeds the partial consumed at quad q+3.
+    for (int q = 3; q < 16; ++q) {
+      const __m128i wq = msgs[q & 3];
+      __m128i m = _mm_add_epi32(
+          wq, _mm_loadu_si128(
+                  reinterpret_cast<const __m128i*>(&kSha256K[4 * q])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+      if (q < 15) {
+        __m128i next = _mm_add_epi32(
+            msgs[(q + 1) & 3], _mm_alignr_epi8(wq, msgs[(q - 1) & 3], 4));
+        msgs[(q + 1) & 3] = _mm_sha256msg2_epu32(next, wq);
+      }
+      m = _mm_shuffle_epi32(m, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+      if (q <= 12) {
+        msgs[(q - 1) & 3] = _mm_sha256msg1_epu32(msgs[(q - 1) & 3], wq);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    blocks += 64;
+  }
+
+  // Unpack ABEF/CDGH back to linear a..h.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+// ---------------------------------------------------------------- AVX2 ×8
+// Straight vectorization of the scalar compression across eight
+// independent messages: lane L of every 256-bit register belongs to
+// message L. One call advances all eight lanes by one block.
+
+namespace {
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+#define CDB_ROR32(x, n)                     \
+  _mm256_or_si256(_mm256_srli_epi32((x), (n)), \
+                  _mm256_slli_epi32((x), 32 - (n)))
+
+__attribute__((target("avx2")))
+void Sha256BlockAvx2x8(uint32_t* states[8], const uint8_t* blocks[8]) {
+  const __m256i kByteSwap = _mm256_set_epi64x(
+      0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL,
+      0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Transpose the message words: w[t] lane L = word t of message L.
+  __m256i w[16];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = _mm256_set_epi32(
+        static_cast<int>(Load32(blocks[7] + 4 * t)),
+        static_cast<int>(Load32(blocks[6] + 4 * t)),
+        static_cast<int>(Load32(blocks[5] + 4 * t)),
+        static_cast<int>(Load32(blocks[4] + 4 * t)),
+        static_cast<int>(Load32(blocks[3] + 4 * t)),
+        static_cast<int>(Load32(blocks[2] + 4 * t)),
+        static_cast<int>(Load32(blocks[1] + 4 * t)),
+        static_cast<int>(Load32(blocks[0] + 4 * t)));
+    w[t] = _mm256_shuffle_epi8(w[t], kByteSwap);
+  }
+
+  // Transpose the states the same way.
+  __m256i v[8];
+  for (int i = 0; i < 8; ++i) {
+    v[i] = _mm256_set_epi32(
+        static_cast<int>(states[7][i]), static_cast<int>(states[6][i]),
+        static_cast<int>(states[5][i]), static_cast<int>(states[4][i]),
+        static_cast<int>(states[3][i]), static_cast<int>(states[2][i]),
+        static_cast<int>(states[1][i]), static_cast<int>(states[0][i]));
+  }
+  __m256i a = v[0], b = v[1], c = v[2], d = v[3];
+  __m256i e = v[4], f = v[5], g = v[6], h = v[7];
+
+  for (int i = 0; i < 64; ++i) {
+    __m256i wi;
+    if (i < 16) {
+      wi = w[i];
+    } else {
+      const __m256i w15 = w[(i - 15) & 15];
+      const __m256i w2 = w[(i - 2) & 15];
+      const __m256i s0 = _mm256_xor_si256(
+          _mm256_xor_si256(CDB_ROR32(w15, 7), CDB_ROR32(w15, 18)),
+          _mm256_srli_epi32(w15, 3));
+      const __m256i s1 = _mm256_xor_si256(
+          _mm256_xor_si256(CDB_ROR32(w2, 17), CDB_ROR32(w2, 19)),
+          _mm256_srli_epi32(w2, 10));
+      wi = _mm256_add_epi32(
+          _mm256_add_epi32(w[i & 15], s0),
+          _mm256_add_epi32(w[(i - 7) & 15], s1));
+      w[i & 15] = wi;
+    }
+    const __m256i s1 = _mm256_xor_si256(
+        _mm256_xor_si256(CDB_ROR32(e, 6), CDB_ROR32(e, 11)),
+        CDB_ROR32(e, 25));
+    // ch = g ^ (e & (f ^ g))
+    const __m256i ch = _mm256_xor_si256(
+        g, _mm256_and_si256(e, _mm256_xor_si256(f, g)));
+    const __m256i temp1 = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(h, s1),
+                         _mm256_add_epi32(ch, wi)),
+        _mm256_set1_epi32(static_cast<int>(kSha256K[i])));
+    const __m256i s0 = _mm256_xor_si256(
+        _mm256_xor_si256(CDB_ROR32(a, 2), CDB_ROR32(a, 13)),
+        CDB_ROR32(a, 22));
+    // maj = (a & b) | (c & (a | b))
+    const __m256i maj = _mm256_or_si256(
+        _mm256_and_si256(a, b),
+        _mm256_and_si256(c, _mm256_or_si256(a, b)));
+    const __m256i temp2 = _mm256_add_epi32(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, temp1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(temp1, temp2);
+  }
+
+  v[0] = a; v[1] = b; v[2] = c; v[3] = d;
+  v[4] = e; v[5] = f; v[6] = g; v[7] = h;
+  alignas(32) uint32_t out[8][8];  // out[word][lane]
+  for (int i = 0; i < 8; ++i) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out[i]), v[i]);
+  }
+  for (int lane = 0; lane < 8; ++lane) {
+    for (int i = 0; i < 8; ++i) {
+      states[lane][i] += out[i][lane];
+    }
+  }
+}
+
+#undef CDB_ROR32
+
+}  // namespace complydb
+
+#endif  // defined(__x86_64__) || defined(__i386__)

@@ -1,6 +1,7 @@
 #include "db/compliant_db.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -765,6 +766,17 @@ RetentionResolver CompliantDB::MakeRetentionResolver() {
 }
 
 Result<AuditReport> CompliantDB::Audit() {
+  uint32_t threads = options_.audit_threads;
+  // CI (and operators) force the parallel path everywhere via env.
+  if (const char* env = std::getenv("COMPLYDB_AUDIT_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') threads = static_cast<uint32_t>(v);
+  }
+  return Audit(threads);
+}
+
+Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
   if (!options_.compliance.enabled) {
     return Status::NotSupported("compliance logging is disabled");
   }
@@ -790,6 +802,7 @@ Result<AuditReport> CompliantDB::Audit() {
                                uint64_t at_time) {
     return holds->IsHeld(tree_id, key, at_time);
   };
+  opts.num_threads = num_threads;
 
   Auditor auditor(opts, worm_.get(), disk_.get());
   auto report = auditor.Audit(epoch_, /*write_snapshot=*/true);

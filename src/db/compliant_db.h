@@ -63,6 +63,13 @@ struct DbOptions {
   /// (after recovery) and refuse to open a corrupted database. Cheaper
   /// than a full audit; catches file-editor damage early.
   bool verify_on_open = false;
+
+  /// Worker threads for Audit()'s replay/final-state/index-check phases.
+  /// 1 = serial reference path; 0 = hardware_concurrency. The
+  /// COMPLYDB_AUDIT_THREADS environment variable, when set, overrides
+  /// this (CI uses it to exercise the parallel path everywhere). The
+  /// report is byte-identical at any thread count.
+  uint32_t audit_threads = 1;
 };
 
 /// The compliant DBMS facade: a transaction-time key-value store over
@@ -152,8 +159,11 @@ class CompliantDB {
 
   // --- audit (§IV) ---
   /// Quiesces, flushes, audits the current epoch; on success releases
-  /// superseded WORM files and begins the next epoch.
+  /// superseded WORM files and begins the next epoch. Runs with the
+  /// configured audit_threads (or the COMPLYDB_AUDIT_THREADS override);
+  /// the overload pins a specific worker count for this run.
   Result<AuditReport> Audit();
+  Result<AuditReport> Audit(uint32_t num_threads);
   uint64_t epoch() const { return epoch_; }
   uint64_t last_audit_time() const { return last_audit_time_; }
 

@@ -1,6 +1,8 @@
 #include "storage/disk_manager.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
@@ -9,8 +11,44 @@
 
 namespace complydb {
 
-DiskManager::DiskManager(std::string path, std::FILE* file, PageId page_count)
-    : path_(std::move(path)), file_(file), page_count_(page_count) {
+namespace {
+
+// Full-page positional read; retries partial transfers and EINTR.
+bool PReadFull(int fd, void* buf, size_t len, off_t offset) {
+  auto* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::pread(fd, p, len, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // unexpected EOF
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += n;
+  }
+  return true;
+}
+
+bool PWriteFull(int fd, const void* buf, size_t len, off_t offset) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::pwrite(fd, p, len, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += n;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiskManager::DiskManager(std::string path, int fd, PageId page_count)
+    : path_(std::move(path)), fd_(fd), page_count_(page_count) {
   auto& reg = obs::MetricsRegistry::Global();
   reg_reads_ = reg.GetCounter("storage.disk.reads");
   reg_writes_ = reg.GetCounter("storage.disk.writes");
@@ -19,27 +57,25 @@ DiskManager::DiskManager(std::string path, std::FILE* file, PageId page_count)
 }
 
 Result<DiskManager*> DiskManager::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) {
-    f = std::fopen(path.c_str(), "w+b");
-  }
-  if (f == nullptr) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Status::IOError("seek " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("stat " + path);
   }
-  long size = std::ftell(f);
-  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
-    std::fclose(f);
+  if (st.st_size < 0 || static_cast<size_t>(st.st_size) % kPageSize != 0) {
+    ::close(fd);
     return Status::Corruption("db file size not page-aligned: " + path);
   }
-  return new DiskManager(path, f, static_cast<PageId>(size / kPageSize));
+  return new DiskManager(path, fd,
+                         static_cast<PageId>(st.st_size / kPageSize));
 }
 
 DiskManager::~DiskManager() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 void DiskManager::SimulateLatency() const {
@@ -48,29 +84,26 @@ void DiskManager::SimulateLatency() const {
 }
 
 Status DiskManager::ReadPage(PageId pgno, Page* page) {
-  if (pgno >= page_count_) return Status::InvalidArgument("pgno out of range");
+  if (pgno >= PageCount()) return Status::InvalidArgument("pgno out of range");
   obs::ScopedLatencyTimer timer(reg_read_us_);
   SimulateLatency();
-  if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek for read");
+  if (!PReadFull(fd_, page->data(), kPageSize,
+                 static_cast<off_t>(pgno) * kPageSize)) {
+    return Status::IOError("short page read");
   }
-  size_t n = std::fread(page->data(), 1, kPageSize, file_);
-  if (n != kPageSize) return Status::IOError("short page read");
   reads_.Inc();
   reg_reads_->Inc();
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId pgno, const Page& page) {
-  if (pgno >= page_count_) return Status::InvalidArgument("pgno out of range");
+  if (pgno >= PageCount()) return Status::InvalidArgument("pgno out of range");
   obs::ScopedLatencyTimer timer(reg_write_us_);
   SimulateLatency();
-  if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek for write");
+  if (!PWriteFull(fd_, page.data(), kPageSize,
+                  static_cast<off_t>(pgno) * kPageSize)) {
+    return Status::IOError("short page write");
   }
-  size_t n = std::fwrite(page.data(), 1, kPageSize, file_);
-  if (n != kPageSize) return Status::IOError("short page write");
-  if (std::fflush(file_) != 0) return Status::IOError("flush page write");
   writes_.Inc();
   reg_writes_->Inc();
   return Status::OK();
@@ -78,19 +111,20 @@ Status DiskManager::WritePage(PageId pgno, const Page& page) {
 
 Result<PageId> DiskManager::AllocatePage() {
   Page zero;
-  PageId pgno = page_count_;
-  if (std::fseek(file_, static_cast<long>(pgno) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek for allocate");
+  PageId pgno = PageCount();
+  if (!PWriteFull(fd_, zero.data(), kPageSize,
+                  static_cast<off_t>(pgno) * kPageSize)) {
+    return Status::IOError("short allocate write");
   }
-  size_t n = std::fwrite(zero.data(), 1, kPageSize, file_);
-  if (n != kPageSize) return Status::IOError("short allocate write");
-  if (std::fflush(file_) != 0) return Status::IOError("flush allocate");
-  ++page_count_;
+  page_count_.store(pgno + 1, std::memory_order_release);
   return pgno;
 }
 
 Status DiskManager::Sync() {
-  if (std::fflush(file_) != 0) return Status::IOError("sync flush");
+  // The FILE*-era implementation only flushed userspace buffers; with raw
+  // pread/pwrite there is nothing buffered in userspace, so Sync is a
+  // no-op kept for call-site symmetry (durability is the WORM's job in
+  // this architecture — the db file is untrusted either way).
   return Status::OK();
 }
 

@@ -1,7 +1,7 @@
 #ifndef COMPLYDB_STORAGE_DISK_MANAGER_H_
 #define COMPLYDB_STORAGE_DISK_MANAGER_H_
 
-#include <cstdio>
+#include <atomic>
 #include <string>
 
 #include "common/status.h"
@@ -13,6 +13,12 @@ namespace complydb {
 /// Page-granular I/O over a single database file on ordinary read/write
 /// media. This file — data, indexes, metadata — is exactly what the threat
 /// model lets Mala edit with a file editor; nothing in it is trusted.
+///
+/// Reads and writes go through pread/pwrite on a raw descriptor, so
+/// concurrent page I/O from different threads is safe (the auditor's
+/// parallel final-state scan reads pages from several workers at once).
+/// AllocatePage extends the file and is serialized by the single-writer
+/// engine; PageCount is safe to read from any thread.
 ///
 /// Counters are exposed for the benchmarks (storage-server I/O is the cost
 /// the paper's page-image cache exists to avoid).
@@ -32,7 +38,9 @@ class DiskManager {
   Result<PageId> AllocatePage();
 
   /// Number of pages in the file.
-  PageId PageCount() const { return page_count_; }
+  PageId PageCount() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   Status Sync();
 
@@ -53,13 +61,13 @@ class DiskManager {
   uint64_t latency_micros() const { return latency_micros_; }
 
  private:
-  DiskManager(std::string path, std::FILE* file, PageId page_count);
+  DiskManager(std::string path, int fd, PageId page_count);
 
   void SimulateLatency() const;
 
   std::string path_;
-  std::FILE* file_;
-  PageId page_count_;
+  int fd_;
+  std::atomic<PageId> page_count_;
   // Per-instance (benchmarks reset these between phases); the registry's
   // storage.disk.* metrics aggregate across instances.
   obs::Counter reads_;

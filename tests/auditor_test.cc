@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 
+#include "adversary/mala.h"
+#include "common/thread_pool.h"
 #include "db/compliant_db.h"
 
 namespace complydb {
@@ -17,10 +20,7 @@ constexpr uint64_t kMinute = 60ull * 1'000'000;
 
 class AuditorTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = ::testing::TempDir() + "/auditor_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
+  DbOptions MakeOptions() {
     DbOptions opts;
     opts.dir = dir_;
     opts.cache_pages = 64;
@@ -28,7 +28,14 @@ class AuditorTest : public ::testing::Test {
     opts.compliance.enabled = true;
     opts.compliance.hash_on_read = true;
     opts.compliance.regret_interval_micros = 5 * kMinute;
-    auto r = CompliantDB::Open(opts);
+    return opts;
+  }
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/auditor_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    auto r = CompliantDB::Open(MakeOptions());
     ASSERT_TRUE(r.ok());
     db_.reset(r.value());
     auto t = db_->CreateTable("t");
@@ -53,6 +60,29 @@ class AuditorTest : public ::testing::Test {
     opts.regret_interval_micros = 5 * kMinute;
     opts.wal_path = db_->wal_path();
     return opts;
+  }
+
+  AuditReport RunAudit(uint32_t num_threads) {
+    AuditOptions opts = BaseOptions();
+    opts.num_threads = num_threads;
+    Auditor auditor(opts, db_->worm(), db_->disk());
+    auto report = auditor.Audit(db_->epoch(), /*write_snapshot=*/false);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? report.value() : AuditReport();
+  }
+
+  // Everything except timings and threads_used must be byte-identical.
+  static void ExpectIdenticalReports(const AuditReport& a,
+                                     const AuditReport& b) {
+    EXPECT_EQ(a.problems, b.problems);
+    EXPECT_EQ(a.shredded_hist_files, b.shredded_hist_files);
+    EXPECT_EQ(a.log_records, b.log_records);
+    EXPECT_EQ(a.pages_checked, b.pages_checked);
+    EXPECT_EQ(a.tuples_checked, b.tuples_checked);
+    EXPECT_EQ(a.read_hashes_checked, b.read_hashes_checked);
+    EXPECT_EQ(a.shreds_verified, b.shreds_verified);
+    EXPECT_EQ(a.migrations_verified, b.migrations_verified);
+    EXPECT_EQ(a.identity_checks_run, b.identity_checks_run);
   }
 
   SimulatedClock clock_;
@@ -141,6 +171,60 @@ TEST_F(AuditorTest, ReleaseOldFilesClearsSupersededWormState) {
   EXPECT_FALSE(db_->worm()->Exists(StampIndexFileName(0)));
   EXPECT_TRUE(db_->worm()->Exists(SnapshotFileName(1)));
   EXPECT_TRUE(db_->worm()->Exists(LogFileName(1)));
+}
+
+TEST_F(AuditorTest, ParallelAuditMatchesSerialOnCleanStore) {
+  AuditReport serial = RunAudit(1);
+  EXPECT_TRUE(serial.ok()) << serial.problems[0];
+  EXPECT_EQ(serial.threads_used, 1u);
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    AuditReport parallel = RunAudit(threads);
+    EXPECT_EQ(parallel.threads_used, threads);
+    ExpectIdenticalReports(serial, parallel);
+  }
+}
+
+TEST_F(AuditorTest, ParallelAuditMatchesSerialOnTamperedStore) {
+  // Tamper through the closed file (the Mala adversary), then reopen and
+  // audit: every thread count must report the identical findings list.
+  ASSERT_TRUE(db_->Close().ok());
+  db_.reset();
+  Mala mala(dir_ + "/data.db");
+  ASSERT_TRUE(mala.TamperTupleValue(table_, "k7").ok());
+  ASSERT_TRUE(mala.TamperTupleValue(table_, "k13").ok());
+  auto r = CompliantDB::Open(MakeOptions());
+  ASSERT_TRUE(r.ok());
+  db_.reset(r.value());
+
+  AuditReport serial = RunAudit(1);
+  EXPECT_FALSE(serial.ok());
+  for (uint32_t threads : {2u, 8u}) {
+    AuditReport parallel = RunAudit(threads);
+    EXPECT_FALSE(parallel.ok());
+    ExpectIdenticalReports(serial, parallel);
+  }
+}
+
+TEST_F(AuditorTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  AuditReport report = RunAudit(0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.threads_used, ThreadPool::DefaultThreads());
+}
+
+TEST_F(AuditorTest, EnvOverrideControlsFacadeAuditThreads) {
+  // CI exports COMPLYDB_AUDIT_THREADS for whole suites; preserve it.
+  const char* prev = ::getenv("COMPLYDB_AUDIT_THREADS");
+  std::string saved = prev != nullptr ? prev : "";
+  ASSERT_EQ(::setenv("COMPLYDB_AUDIT_THREADS", "3", /*overwrite=*/1), 0);
+  auto report = db_->Audit();
+  if (prev != nullptr) {
+    ::setenv("COMPLYDB_AUDIT_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("COMPLYDB_AUDIT_THREADS");
+  }
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok());
+  EXPECT_EQ(report.value().threads_used, 3u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "crypto/hmac.h"
 #include "crypto/seq_hash.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_kernels.h"
 #include "crypto/sha512.h"
 
 namespace complydb {
@@ -54,6 +55,121 @@ TEST(Sha256Test, PaddingBoundaries) {
     EXPECT_EQ(Sha256::Hash(data), Sha256::Hash(data));
     std::string other(len + 1, 'q');
     EXPECT_NE(Sha256::Hash(data), Sha256::Hash(other));
+  }
+}
+
+// ---------- SHA-256 kernel dispatch ----------
+
+// Pins each available implementation in turn and restores auto dispatch
+// even if an assertion fails mid-test.
+class Sha256KernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ASSERT_TRUE(Sha256ForceImpl(Sha256Impl::kAuto).ok());
+  }
+
+  static std::vector<Sha256Impl> SupportedImpls() {
+    std::vector<Sha256Impl> impls = {Sha256Impl::kScalar};
+    if (Sha256CpuHasShaNi()) impls.push_back(Sha256Impl::kShaNi);
+    if (Sha256CpuHasAvx2()) impls.push_back(Sha256Impl::kAvx2);
+    return impls;
+  }
+};
+
+TEST_F(Sha256KernelTest, ForceRejectsUnsupported) {
+  if (!Sha256CpuHasShaNi()) {
+    EXPECT_FALSE(Sha256ForceImpl(Sha256Impl::kShaNi).ok());
+  }
+  if (!Sha256CpuHasAvx2()) {
+    EXPECT_FALSE(Sha256ForceImpl(Sha256Impl::kAvx2).ok());
+  }
+  EXPECT_TRUE(Sha256ForceImpl(Sha256Impl::kScalar).ok());
+}
+
+TEST_F(Sha256KernelTest, AllImplsMatchScalarAtBoundaryLengths) {
+  // Padding boundaries (55/56/64/65), block multiples, and a multi-MB
+  // buffer spanning many blocks.
+  std::vector<size_t> lengths = {0,  1,  3,   55,  56,  57,   63,  64,
+                                 65, 127, 128, 129, 1000, 4096, 8192};
+  lengths.push_back(3u << 20);  // 3 MiB
+
+  Random rng(20260806);
+  std::vector<std::string> inputs;
+  for (size_t len : lengths) inputs.push_back(rng.Bytes(len));
+  for (int i = 0; i < 32; ++i) inputs.push_back(rng.Bytes(rng.Uniform(2048)));
+
+  ASSERT_TRUE(Sha256ForceImpl(Sha256Impl::kScalar).ok());
+  std::vector<Sha256Digest> expect;
+  for (const auto& in : inputs) expect.push_back(Sha256::Hash(in));
+
+  for (Sha256Impl impl : SupportedImpls()) {
+    ASSERT_TRUE(Sha256ForceImpl(impl).ok()) << Sha256ImplName(impl);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(Sha256::Hash(inputs[i]), expect[i])
+          << Sha256ImplName(impl) << " len " << inputs[i].size();
+    }
+  }
+}
+
+TEST_F(Sha256KernelTest, IncrementalMatchesAcrossImpls) {
+  Random rng(7);
+  std::string data = rng.Bytes(100000);
+  ASSERT_TRUE(Sha256ForceImpl(Sha256Impl::kScalar).ok());
+  Sha256Digest expect = Sha256::Hash(data);
+  for (Sha256Impl impl : SupportedImpls()) {
+    ASSERT_TRUE(Sha256ForceImpl(impl).ok());
+    Sha256 h;
+    size_t off = 0;
+    while (off < data.size()) {
+      size_t take = std::min<size_t>(1 + rng.Uniform(9000),
+                                     data.size() - off);
+      h.Update(Slice(data.data() + off, take));
+      off += take;
+    }
+    EXPECT_EQ(h.Finish(), expect) << Sha256ImplName(impl);
+  }
+}
+
+TEST_F(Sha256KernelTest, BatchMatchesSingleBufferHashing) {
+  Random rng(99);
+  // Batch sizes around the 8-lane AVX2 grouping: 0, 1, partial group,
+  // exact group, group+1, two groups+1.
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 17u}) {
+    std::vector<std::string> bufs;
+    std::vector<Slice> slices;
+    for (size_t i = 0; i < n; ++i) {
+      // Mixed lengths, including empty and multi-block.
+      size_t len = (i % 3 == 0) ? i * 37 : rng.Uniform(10000);
+      bufs.push_back(rng.Bytes(len));
+    }
+    for (const auto& b : bufs) slices.emplace_back(b);
+
+    std::vector<Sha256Digest> out(n);
+    Sha256BatchHash(slices.data(), n, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], Sha256::Hash(slices[i])) << "n " << n << " i " << i;
+    }
+    EXPECT_EQ(Sha256BatchHash(slices),
+              std::vector<Sha256Digest>(out.begin(), out.end()));
+  }
+}
+
+TEST_F(Sha256KernelTest, BatchMatchesUnderEveryForcedImpl) {
+  Random rng(123);
+  std::vector<std::string> bufs;
+  std::vector<Slice> slices;
+  for (size_t i = 0; i < 13; ++i) bufs.push_back(rng.Bytes(rng.Uniform(5000)));
+  for (const auto& b : bufs) slices.emplace_back(b);
+
+  ASSERT_TRUE(Sha256ForceImpl(Sha256Impl::kScalar).ok());
+  std::vector<Sha256Digest> expect(bufs.size());
+  Sha256BatchHash(slices.data(), slices.size(), expect.data());
+
+  for (Sha256Impl impl : SupportedImpls()) {
+    ASSERT_TRUE(Sha256ForceImpl(impl).ok());
+    std::vector<Sha256Digest> out(bufs.size());
+    Sha256BatchHash(slices.data(), slices.size(), out.data());
+    EXPECT_EQ(out, expect) << Sha256ImplName(impl);
   }
 }
 

@@ -1,0 +1,158 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace complydb {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  // Destructor drains the queue before joining.
+  {
+    ThreadPool inner(2);
+    for (int i = 0; i < 50; ++i) {
+      inner.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  // The inner pool is joined; its 50 tasks are done. Wait for the rest.
+  while (count.load() < 150) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, 200, [&sum](size_t i) { sum.fetch_add(i); });
+  // sum of 100..199
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(5, 5, [&count](size_t) { count.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsMaxChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 1000, [&count](size_t) { count.fetch_add(1); },
+                   /*max_chunks=*/2);
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 256,
+                       [&completed](size_t i) {
+                         if (i == 77) throw std::runtime_error("boom");
+                         completed.fetch_add(1);
+                       }),
+      std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 64, [&after](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownRacingSubmitterEitherRunsOrThrows) {
+  // Tasks accepted before the shutdown cut all run; Submit after it
+  // throws — even with a producer hammering a tiny queue.
+  std::atomic<int> ran{0};
+  std::atomic<bool> submit_threw{false};
+  std::atomic<int> accepted{0};
+  {
+    ThreadPool pool(2, /*queue_capacity=*/8);
+    std::thread submitter([&pool, &ran, &submit_threw, &accepted] {
+      try {
+        for (int i = 0; i < 100000; ++i) {
+          pool.Submit([&ran] { ran.fetch_add(1); });
+          accepted.fetch_add(1);
+        }
+      } catch (const std::runtime_error&) {
+        submit_threw.store(true);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pool.Shutdown();
+    submitter.join();
+  }
+  EXPECT_TRUE(submit_threw.load());
+  EXPECT_GT(ran.load(), 0);
+  // Every accepted task ran before Shutdown returned.
+  EXPECT_EQ(ran.load(), accepted.load());
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadDrainsAcceptedTasks) {
+  std::atomic<int> ran{0};
+  int submitted = 0;
+  {
+    ThreadPool pool(4, /*queue_capacity=*/16);
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+      });
+      ++submitted;
+    }
+  }
+  // Every task accepted by Submit must have run before join returned.
+  EXPECT_EQ(ran.load(), submitted);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 4, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace complydb

@@ -8,7 +8,7 @@
 //
 //   cdb_audit <db-dir> [--key=<auditor-key>] [--epoch=<n>]
 //             [--regret-minutes=<m>] [--no-read-hashes] [--sort-merge]
-//             [--write-snapshot]
+//             [--write-snapshot] [--threads=<n>]
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +38,7 @@ struct Args {
   bool read_hashes = true;
   bool sort_merge = false;
   bool write_snapshot = false;
+  uint64_t threads = 1;  // 0 = hardware_concurrency
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -57,6 +58,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->sort_merge = true;
     } else if (arg == "--write-snapshot") {
       args->write_snapshot = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args->threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -100,7 +103,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: cdb_audit <db-dir> [--key=K] [--epoch=N] "
                  "[--regret-minutes=M] [--no-read-hashes] [--sort-merge] "
-                 "[--write-snapshot]\n");
+                 "[--write-snapshot] [--threads=N]\n");
     return 2;
   }
 
@@ -166,6 +169,7 @@ int main(int argc, char** argv) {
   opts.sort_merge_check = args.sort_merge;
   opts.regret_interval_micros = args.regret_minutes * 60ull * 1'000'000;
   opts.wal_path = args.dir + "/txn.wal";
+  opts.num_threads = static_cast<uint32_t>(args.threads);
   if (expiry != nullptr) {
     ExpiryPolicy* e = expiry.get();
     opts.retention_resolver = [e](uint32_t tree_id, uint64_t at_time) {
@@ -202,6 +206,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.shreds_verified));
   std::printf("migrations verified: %llu\n",
               static_cast<unsigned long long>(r.migrations_verified));
+  std::printf("threads:             %u\n", r.threads_used);
   std::printf("time:                %.3fs (snapshot %.3f, replay %.3f, "
               "final %.3f, index %.3f)\n",
               r.timings.total_seconds, r.timings.snapshot_seconds,

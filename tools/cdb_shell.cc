@@ -36,7 +36,8 @@ constexpr char kHelp[] =
     "  hold <table> <prefix>          place a litigation hold\n"
     "  release <table> <prefix>       release a hold\n"
     "  advance <seconds>              advance the simulated clock\n"
-    "  audit                          run the compliance audit\n"
+    "  audit [threads]                run the compliance audit (0 = all "
+    "cores)\n"
     "  stats                          engine statistics\n"
     "  metrics [prom]                 metrics registry (JSON or Prometheus)\n"
     "  trace [n]                      newest n trace events (default 20)\n"
@@ -190,14 +191,27 @@ int main(int argc, char** argv) {
       uint64_t seconds = std::strtoull(args[1].c_str(), nullptr, 10);
       PrintStatus(db->AdvanceClock(seconds * 1'000'000ull));
     } else if (cmd == "audit") {
-      auto r = db->Audit();
+      uint32_t threads = 1;  // serial unless a count is given; 0 = all cores
+      if (args.size() >= 2) {
+        threads = static_cast<uint32_t>(
+            std::strtoul(args[1].c_str(), nullptr, 10));
+      }
+      auto r = db->Audit(threads);
       if (!r.ok()) { PrintStatus(r.status()); continue; }
-      std::printf("%s — %llu records, %llu tuples, %.3fs\n",
-                  r.value().ok() ? "COMPLIANT" : "TAMPERING DETECTED",
-                  static_cast<unsigned long long>(r.value().log_records),
-                  static_cast<unsigned long long>(r.value().tuples_checked),
-                  r.value().timings.total_seconds);
-      for (const auto& p : r.value().problems) {
+      const AuditReport& rep = r.value();
+      std::printf("%s — %llu records, %llu tuples, %u thread%s, %.3fs\n",
+                  rep.ok() ? "COMPLIANT" : "TAMPERING DETECTED",
+                  static_cast<unsigned long long>(rep.log_records),
+                  static_cast<unsigned long long>(rep.tuples_checked),
+                  rep.threads_used, rep.threads_used == 1 ? "" : "s",
+                  rep.timings.total_seconds);
+      std::printf("  phases: summarize %.3fs, snapshot %.3fs, replay "
+                  "%.3fs, final-state %.3fs, index %.3fs\n",
+                  rep.timings.summarize_seconds,
+                  rep.timings.snapshot_seconds, rep.timings.replay_seconds,
+                  rep.timings.final_state_seconds,
+                  rep.timings.index_check_seconds);
+      for (const auto& p : rep.problems) {
         std::printf("  - %s\n", p.c_str());
       }
     } else if (cmd == "stats") {

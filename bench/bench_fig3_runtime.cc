@@ -7,7 +7,17 @@
 // largest relative overhead past the knee, bounded around ~30%.
 //
 //   ./bench_fig3_runtime [total_txns] [step]
+//
+// With --commit-path the binary instead runs the commit-latency A/B sweep:
+// the same NewOrder stream against synchronous compliance shipping (one
+// WORM fflush per hook) and the asynchronous group-commit shipper, and
+// writes BENCH_commit_path.json with both db.commit_us histograms. The
+// sync block is the stored baseline (bench/baselines/
+// BENCH_commit_path.sync-seed.json).
+//
+//   ./bench_fig3_runtime --commit-path [txns]
 
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -72,9 +82,150 @@ int RunConfig(const Config& config, uint64_t total, uint64_t step) {
   return 0;
 }
 
+struct CommitPathResult {
+  double elapsed_seconds = 0;
+  uint64_t commits = 0;
+  uint64_t sum_us = 0;
+  uint64_t max_us = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  uint64_t worm_flushes = 0;
+};
+
+int RunCommitPath(bool async, uint64_t txns, CommitPathResult* out) {
+  tpcc::Scale scale;
+  scale.warehouses = 1;
+  // Hash-page-on-read (§V): every cache-miss read appends a READ_HASH
+  // record. Sync shipping pays one WORM fflush per record; the async
+  // shipper defers them to the next barrier, so the A/B isolates exactly
+  // the flush traffic group commit removes. The 100 us flush latency
+  // models the round trip to the paper's network WORM filer (same class
+  // of cost as the 120 us page-I/O latency in the Fig. 3 configs); on
+  // local storage an fflush is nearly free and there is nothing for
+  // group commit to amortize. The 10 ms group-commit window is tuned to
+  // that round trip: commits arrive far more often than the window
+  // expires, so every drain is an inline barrier steal and the shipper
+  // never holds the store mid-flush when a commit lands.
+  auto env = TpccEnv::Create(BenchDir("commit_path"),
+                             Mode::kLogConsistentHashOnRead,
+                             /*cache_pages=*/192, scale, /*seed=*/1234,
+                             /*tsb=*/false, /*tsb_threshold=*/0.5,
+                             /*io_latency_micros=*/0, async,
+                             /*worm_flush_latency_micros=*/100,
+                             /*group_commit_window_micros=*/10000);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+  if (!env.value().Warmup(200).ok()) return 1;
+
+  // NewOrder-only: the heaviest writer of the mix, so its commit path
+  // (WAL flush + compliance STAMP + WORM flush) dominates the histogram.
+  Timer timer;
+  uint64_t per_txn = 5 * kMinute / 500;
+  for (uint64_t i = 0; i < txns; ++i) {
+    bool committed = false;
+    Status s = env.value().workload->NewOrder(&committed);
+    if (!s.ok()) {
+      std::fprintf(stderr, "NewOrder failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    env.value().clock->AdvanceMicros(per_txn);
+  }
+  out->elapsed_seconds = timer.Seconds();
+
+  auto snapshot = obs::MetricsRegistry::Global().TakeSnapshot();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "db.commit_us") {
+      out->commits = h.count;
+      out->sum_us = h.sum_us;
+      out->max_us = h.max_us;
+      out->p50 = h.p50;
+      out->p95 = h.p95;
+      out->p99 = h.p99;
+    }
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "worm.flushes") out->worm_flushes = value;
+  }
+  if (::getenv("COMMIT_PATH_DEBUG") != nullptr) {
+    for (const auto& h : snapshot.histograms) {
+      if (h.count == 0) continue;
+      std::printf("  [hist] %-32s n=%-7llu p50=%-9.1f p95=%-9.1f p99=%-10.1f max=%llu\n",
+                  h.name.c_str(), (unsigned long long)h.count, h.p50, h.p95,
+                  h.p99, (unsigned long long)h.max_us);
+    }
+    for (const auto& [name, value] : snapshot.counters) {
+      if (value > 0) std::printf("  [ctr] %-33s %llu\n", name.c_str(),
+                                 (unsigned long long)value);
+    }
+  }
+  return 0;
+}
+
+std::string CommitPathJson(const char* label, const CommitPathResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"elapsed_seconds\":%.6f,\"commits\":%llu,"
+                "\"sum_us\":%llu,\"max_us\":%llu,\"p50_us\":%.1f,"
+                "\"p95_us\":%.1f,\"p99_us\":%.1f,\"worm_flushes\":%llu}",
+                label, r.elapsed_seconds,
+                static_cast<unsigned long long>(r.commits),
+                static_cast<unsigned long long>(r.sum_us),
+                static_cast<unsigned long long>(r.max_us), r.p50, r.p95,
+                r.p99, static_cast<unsigned long long>(r.worm_flushes));
+  return buf;
+}
+
+int RunCommitPathSweep(uint64_t txns) {
+  // The env override would force async for both arms of the A/B.
+  ::unsetenv("COMPLYDB_COMPLIANCE_ASYNC");
+  std::printf("=== commit path: sync vs async shipping (%llu NewOrder) ===\n",
+              static_cast<unsigned long long>(txns));
+
+  CommitPathResult sync_r, async_r;
+  if (RunCommitPath(/*async=*/false, txns, &sync_r) != 0) return 1;
+  if (RunCommitPath(/*async=*/true, txns, &async_r) != 0) return 1;
+
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "mode", "p50_us", "p95_us",
+              "p99_us", "max_us", "worm_flushes");
+  std::printf("%8s %10.1f %10.1f %10.1f %10llu %12llu\n", "sync", sync_r.p50,
+              sync_r.p95, sync_r.p99,
+              static_cast<unsigned long long>(sync_r.max_us),
+              static_cast<unsigned long long>(sync_r.worm_flushes));
+  std::printf("%8s %10.1f %10.1f %10.1f %10llu %12llu\n", "async",
+              async_r.p50, async_r.p95, async_r.p99,
+              static_cast<unsigned long long>(async_r.max_us),
+              static_cast<unsigned long long>(async_r.worm_flushes));
+  double p95_improvement =
+      sync_r.p95 > 0 ? 100.0 * (sync_r.p95 - async_r.p95) / sync_r.p95 : 0;
+  std::printf("p95 improvement: %.1f%%\n", p95_improvement);
+
+  std::string json = "{\"bench\":\"commit_path\",\"txns\":" +
+                     std::to_string(txns) + "," +
+                     CommitPathJson("sync", sync_r) + "," +
+                     CommitPathJson("async", async_r) +
+                     ",\"p95_improvement_pct\":" +
+                     std::to_string(p95_improvement) + "}\n";
+  std::FILE* f = std::fopen("BENCH_commit_path.json", "w");
+  if (f == nullptr) return 1;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics artifact: BENCH_commit_path.json\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--commit-path") == 0) {
+    // 2000 NewOrders grow the database past the 192-page cache, the
+    // disk-resident regime where lazy-timestamping reads miss and the
+    // sync path pays a WORM round trip per READ_HASH inside commit.
+    return RunCommitPathSweep(ArgOr(argc, argv, 2, 2000));
+  }
   std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "fig3_runtime");
   Timer run_timer;
   uint64_t total = ArgOr(argc, argv, 1, 2000);

@@ -1,6 +1,7 @@
 #ifndef COMPLYDB_COMMON_CLOCK_H_
 #define COMPLYDB_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -28,19 +29,27 @@ class SystemClock : public Clock {
 };
 
 /// Manually advanced clock. Starts at a nonzero epoch so that time 0 can
-/// mean "never" in file formats.
+/// mean "never" in file formats. The counter is atomic because background
+/// threads (the compliance-log shipper, parallel audit workers) stamp
+/// trace events while the driving thread advances time.
 class SimulatedClock : public Clock {
  public:
   explicit SimulatedClock(uint64_t start_micros = 1'000'000)
       : now_(start_micros) {}
 
-  uint64_t NowMicros() override { return now_; }
+  uint64_t NowMicros() override {
+    return now_.load(std::memory_order_relaxed);
+  }
 
-  void AdvanceMicros(uint64_t d) { now_ += d; }
-  void AdvanceSeconds(uint64_t s) { now_ += s * 1'000'000ull; }
+  void AdvanceMicros(uint64_t d) {
+    now_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(uint64_t s) {
+    now_.fetch_add(s * 1'000'000ull, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t now_;
+  std::atomic<uint64_t> now_;
 };
 
 }  // namespace complydb

@@ -128,8 +128,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
         std::unique_lock<std::mutex> lock(done_mu);
         if (err != nullptr && first_error == nullptr) first_error = err;
         --pending;
+        // Notify under the lock: done_cv lives on the caller's stack, and
+        // the caller destroys it as soon as it observes pending == 0. The
+        // held mutex keeps it from getting that far mid-signal.
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
 

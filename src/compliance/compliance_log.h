@@ -2,9 +2,11 @@
 #define COMPLYDB_COMPLIANCE_COMPLIANCE_LOG_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "compliance/records.h"
+#include "compliance/shipper.h"
 #include "worm/worm_store.h"
 
 namespace complydb {
@@ -19,8 +21,30 @@ std::string WitnessFileName(uint64_t epoch, uint64_t seq);
 std::string TxTailFileName(uint64_t epoch, uint64_t seq);
 std::string HistPageFileName(uint32_t tree_id, uint64_t seq);
 
-/// Append/scan access to one epoch's compliance log L on WORM. Appends are
-/// synchronous and durable: a record "is on WORM" when Append returns.
+/// How appended records become durable on WORM.
+struct ComplianceLogOptions {
+  /// false: Flush() performs the WORM fflush inline (classic path).
+  /// true: appends go to an in-memory ring drained by a LogShipper
+  /// thread; Flush()/FlushThrough() become barriers that wait for the
+  /// shipper, and many records/transactions share one fflush.
+  bool async = false;
+
+  /// Group-commit window for the shipper (see LogShipper). Ignored when
+  /// sync.
+  uint64_t group_commit_window_micros = 200;
+
+  /// Rebuild a missing stamp-index tail from L's STAMP_TRANS records on
+  /// OpenExisting. The index's durability is lazy (it rides the log's
+  /// flush unflushed), so a crash can lose index entries whose records
+  /// are on L; reconciliation reconstructs them byte-for-byte. Off for
+  /// read-only consumers (the auditor tolerates a short index).
+  bool repair_stamp_index = false;
+};
+
+/// Append/scan access to one epoch's compliance log L on WORM. A record
+/// "is on WORM" once the flush covering it returns: inline in sync mode,
+/// via a FlushThrough/Flush barrier in async mode. Either way the bytes
+/// written are identical — the shipper drains FIFO from a single thread.
 ///
 /// The auxiliary stamp index (paper §IV-A) records, for every STAMP_TRANS,
 /// the transaction id, its offset in L, and the commit time, letting the
@@ -28,8 +52,10 @@ std::string HistPageFileName(uint32_t tree_id, uint64_t seq);
 /// pass over the full log.
 class ComplianceLog {
  public:
-  ComplianceLog(WormStore* worm, uint64_t epoch)
-      : worm_(worm), epoch_(epoch) {}
+  ComplianceLog(WormStore* worm, uint64_t epoch,
+                ComplianceLogOptions opts = ComplianceLogOptions{})
+      : worm_(worm), epoch_(epoch), opts_(opts) {}
+  ~ComplianceLog();
 
   /// Creates the epoch's L and stamp-index files (must not exist).
   Status Create();
@@ -39,18 +65,29 @@ class ComplianceLog {
 
   Status Append(const CRecord& rec);
 
-  /// Batched variant: bytes reach the OS only at Flush(). A record is "on
-  /// WORM" only after Flush returns; the compliance logger batches the
-  /// records of one pwrite diff and flushes before the pwrite proceeds.
+  /// Batched variant: bytes reach the OS only at the next flush barrier.
+  /// A record is "on WORM" only after Flush/FlushThrough covers it; the
+  /// compliance logger batches the records of one pwrite diff and
+  /// barriers before the pwrite proceeds.
   Status AppendUnflushed(const CRecord& rec);
   Status Flush();
 
+  /// Durability barrier up to a logical L offset: returns once every byte
+  /// below `offset` is durable on WORM. In sync mode this is a full
+  /// Flush; in async mode it waits on the shipper (which typically
+  /// already drained the ring in the background).
+  Status FlushThrough(uint64_t offset);
+
   /// Bytes appended so far (the next record's offset).
   uint64_t size() const { return size_; }
+  /// Bytes known durable on WORM.
+  uint64_t durable_offset() const;
   uint64_t epoch() const { return epoch_; }
   uint64_t record_count() const { return record_count_; }
+  bool async() const { return shipper_ != nullptr; }
 
-  /// Scans this epoch's records in order.
+  /// Scans this epoch's records in order (drains the ring first, so the
+  /// scan sees every append).
   Status Scan(const std::function<Status(const CRecord&, uint64_t)>& fn) const;
 
   /// Scans the stamp index: fn(txn_id, offset_in_L, commit_time).
@@ -60,10 +97,19 @@ class ComplianceLog {
   WormStore* worm() const { return worm_; }
 
  private:
+  void StartShipper();
+  Status RepairStampIndex();
+  /// Barrier before reads: everything appended must be visible.
+  Status SyncForRead() const;
+
   WormStore* worm_;
   uint64_t epoch_;
+  ComplianceLogOptions opts_;
   uint64_t size_ = 0;
   uint64_t record_count_ = 0;
+  uint64_t durable_offset_ = 0;  // sync-mode tracking; async asks the shipper
+  // mutable: const readers (Scan) must be able to issue the read barrier.
+  mutable std::unique_ptr<LogShipper> shipper_;
 };
 
 }  // namespace complydb

@@ -13,6 +13,7 @@ struct ComplianceMetrics {
   obs::Counter* witnesses;
   obs::Counter* shred_intents;
   obs::Histogram* write_stall_us;
+  obs::Histogram* barrier_stall_us;
   ComplianceMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
     records = reg.GetCounter("compliance.records");
@@ -20,6 +21,7 @@ struct ComplianceMetrics {
     witnesses = reg.GetCounter("compliance.witnesses");
     shred_intents = reg.GetCounter("shred.intents");
     write_stall_us = reg.GetHistogram("compliance.write_stall_us");
+    barrier_stall_us = reg.GetHistogram("compliance.barrier_stall_us");
   }
 };
 ComplianceMetrics& Cm() {
@@ -28,14 +30,34 @@ ComplianceMetrics& Cm() {
 }
 }  // namespace
 
+ComplianceLogOptions ComplianceLogger::LogOptions() const {
+  ComplianceLogOptions o;
+  o.async = options_.async_shipping;
+  o.group_commit_window_micros = options_.group_commit_window_micros;
+  o.repair_stamp_index = options_.repair_stamp_index;
+  return o;
+}
+
+Status ComplianceLogger::MaybeSyncFlush() {
+  if (log_ == nullptr) return Status::OK();
+  if (options_.async_shipping) return Status::OK();
+  return log_->Flush();
+}
+
+Status ComplianceLogger::FlushLog() {
+  if (!options_.enabled || log_ == nullptr) return Status::OK();
+  return log_->Flush();
+}
+
 Status ComplianceLogger::StartFreshEpoch(uint64_t epoch) {
   if (!options_.enabled) return Status::OK();
-  log_ = std::make_unique<ComplianceLog>(worm_, epoch);
+  log_ = std::make_unique<ComplianceLog>(worm_, epoch, LogOptions());
   CDB_RETURN_IF_ERROR(log_->Create());
   baseline_.clear();
   index_baseline_.clear();
   unsynced_.clear();
   evict_queue_.clear();
+  page_high_water_.clear();
   stamps_on_log_.clear();
   aborts_on_log_.clear();
   uint64_t now = clock_->NowMicros();
@@ -48,7 +70,7 @@ Status ComplianceLogger::StartFreshEpoch(uint64_t epoch) {
 Status ComplianceLogger::AttachToEpoch(uint64_t epoch,
                                        const Snapshot* snapshot) {
   if (!options_.enabled) return Status::OK();
-  log_ = std::make_unique<ComplianceLog>(worm_, epoch);
+  log_ = std::make_unique<ComplianceLog>(worm_, epoch, LogOptions());
   CDB_RETURN_IF_ERROR(log_->OpenExisting());
 
   // Rebuild the diff baseline as replay(snapshot, L): this is the page
@@ -77,6 +99,7 @@ Status ComplianceLogger::AttachToEpoch(uint64_t epoch,
   index_baseline_.clear();
   unsynced_.clear();
   evict_queue_.clear();
+  page_high_water_.clear();
   for (const auto& [key, state] : replayer.pages()) {
     baseline_[key.second] = state;
     NoteCached(key.second, /*is_index=*/false, /*disk_synced=*/false);
@@ -213,15 +236,25 @@ void ComplianceLogger::NoteCached(PageId pgno, bool is_index,
   }
 }
 
-// Records are appended unflushed; every public hook flushes before it
-// returns, so the "on WORM before the operation proceeds" contract holds
-// at one syscall per hook instead of one per record.
+// Records are appended unflushed. In sync mode every public hook flushes
+// before it returns, so the "on WORM before the operation proceeds"
+// contract holds at one syscall per hook instead of one per record. In
+// async mode the flush moves to the two barriers (OnPageWriteBarrier and
+// the commit/tick/shred full flush); the per-page high-water mark
+// recorded here is what the pwrite barrier waits on.
 Status ComplianceLogger::Append(const CRecord& rec) {
   Cm().records->Inc();
   obs::TraceRing::Global().Emit(obs::TraceEventType::kComplianceAppend,
                                 static_cast<uint64_t>(rec.type),
                                 log_->size());
-  return log_->AppendUnflushed(rec);
+  CDB_RETURN_IF_ERROR(log_->AppendUnflushed(rec));
+  if (options_.async_shipping) {
+    uint64_t end = log_->size();
+    if (rec.pgno != kInvalidPage) page_high_water_[rec.pgno] = end;
+    if (rec.new_pgno != kInvalidPage) page_high_water_[rec.new_pgno] = end;
+    if (rec.third_pgno != kInvalidPage) page_high_water_[rec.third_pgno] = end;
+  }
+  return Status::OK();
 }
 
 Status ComplianceLogger::EmitDiff(uint32_t tree_id, PageId pgno,
@@ -311,7 +344,7 @@ Status ComplianceLogger::OnPageRead(PageId pgno, const Page& image) {
       index_baseline_[pgno] = std::move(state);
       NoteCached(pgno, /*is_index=*/true, /*disk_synced=*/true);
     }
-    return log_ != nullptr ? log_->Flush() : Status::OK();
+    return MaybeSyncFlush();
   }
   if (image.type() != PageType::kBtreeLeaf) {
     return Status::OK();
@@ -339,7 +372,10 @@ Status ComplianceLogger::OnPageRead(PageId pgno, const Page& image) {
     baseline_[pgno] = std::move(state);
     NoteCached(pgno, /*is_index=*/false, /*disk_synced=*/true);
   }
-  return log_ != nullptr ? log_->Flush() : Status::OK();
+  // Async: read-hash records ride the ring; they are durable by the next
+  // commit/tick barrier, within the regret-window guarantee the auditor
+  // checks.
+  return MaybeSyncFlush();
 }
 
 Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
@@ -359,7 +395,7 @@ Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
       index_baseline_[pgno] = std::move(new_state);
       NoteCached(pgno, /*is_index=*/true, /*disk_synced=*/true);
     }
-    return log_->Flush();
+    return MaybeSyncFlush();
   }
   if (image.type() != PageType::kBtreeLeaf) {
     return Status::OK();
@@ -373,7 +409,23 @@ Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
     baseline_[pgno] = std::move(new_state);
     NoteCached(pgno, /*is_index=*/false, /*disk_synced=*/true);
   }
-  return log_->Flush();
+  // Async: the durability stall happens in OnPageWriteBarrier, after
+  // every hook has appended its records for the whole write-out batch.
+  return MaybeSyncFlush();
+}
+
+// Barrier (1) of the pipeline: the pwrite of `pgno` may not reach disk
+// until every compliance record describing the page is durable on WORM.
+// In sync mode OnPageWrite already flushed, so this is a no-op.
+Status ComplianceLogger::OnPageWriteBarrier(PageId pgno) {
+  if (!options_.enabled || log_ == nullptr) return Status::OK();
+  if (!options_.async_shipping) return Status::OK();
+  auto it = page_high_water_.find(pgno);
+  if (it == page_high_water_.end()) return Status::OK();
+  uint64_t target = it->second;
+  page_high_water_.erase(it);
+  obs::ScopedLatencyTimer stall(Cm().barrier_stall_us);
+  return log_->FlushThrough(target);
 }
 
 Status ComplianceLogger::OnPageSplit(uint32_t tree_id, uint8_t level,
@@ -409,7 +461,9 @@ Status ComplianceLogger::OnPageSplit(uint32_t tree_id, uint8_t level,
     baseline_.erase(old_pgno);
     baseline_.erase(new_pgno);
   }
-  return log_->Flush();
+  // Async: the split record's high-water mark covers both pages, so
+  // neither post-split image can reach disk before the record is durable.
+  return MaybeSyncFlush();
 }
 
 Status ComplianceLogger::OnRootGrow(uint32_t tree_id, PageId root_pgno,
@@ -447,7 +501,7 @@ Status ComplianceLogger::OnRootGrow(uint32_t tree_id, PageId root_pgno,
     baseline_[right_pgno] = StateFromImage(post_right);
     NoteCached(right_pgno, /*is_index=*/false, /*disk_synced=*/false);
   }
-  return log_->Flush();
+  return MaybeSyncFlush();
 }
 
 Status ComplianceLogger::OnMigrate(uint32_t tree_id, PageId live_pgno,
@@ -476,6 +530,10 @@ Status ComplianceLogger::OnMigrate(uint32_t tree_id, PageId live_pgno,
   } else {
     baseline_.erase(live_pgno);
   }
+  // Full flush even in async mode: the MIGRATE record references a
+  // historical file that already exists on WORM, and an orphaned file
+  // without its record would look like tampering. Migrations are rare
+  // (one per time split), so this costs nothing on the hot path.
   return log_->Flush();
 }
 
@@ -493,6 +551,10 @@ Status ComplianceLogger::OnCommit(TxnId txn_id, uint64_t commit_time) {
   rec.timestamp = clock_->NowMicros();
   CDB_RETURN_IF_ERROR(Append(rec));
   last_stamp_activity_ = clock_->NowMicros();
+  // Barrier (2): the commit may not return until its STAMP_TRANS — and,
+  // FIFO, everything before it — is durable on WORM. In async mode this
+  // is the group-commit rendezvous: concurrent appends accumulated since
+  // the last drain share the shipper's single fflush.
   return log_->Flush();
 }
 

@@ -43,6 +43,24 @@ struct ComplianceOptions {
   /// until the page catches up, or the fallback disk read would
   /// resurrect stale state.
   size_t max_cached_pages = 0;
+
+  /// Asynchronous log shipping: records are appended to an in-memory
+  /// ring drained by a dedicated shipper thread, and durability is
+  /// enforced at two WAL-style barriers (the pwrite barrier and the
+  /// commit/tick/shred full flush) instead of at every hook. The bytes
+  /// on WORM are identical to sync mode; only their flush timing moves.
+  /// Overridable at open via the COMPLYDB_COMPLIANCE_ASYNC env variable.
+  bool async_shipping = false;
+
+  /// Group-commit window for the shipper (microseconds of real time the
+  /// shipper waits for more records before paying an fflush nobody is
+  /// stalled on). Only meaningful with async_shipping.
+  uint64_t group_commit_window_micros = 200;
+
+  /// Rebuild a missing stamp-index tail from L on reattach (see
+  /// ComplianceLogOptions::repair_stamp_index). Disabled for read-only
+  /// opens, which must not write to WORM.
+  bool repair_stamp_index = true;
 };
 
 /// The compliance logging plugin. Implements the paper's pread/pwrite tap
@@ -72,9 +90,14 @@ class ComplianceLogger : public IoHook,
   bool enabled() const { return options_.enabled; }
   const ComplianceOptions& options() const { return options_; }
 
+  /// Full durability barrier: everything appended so far reaches WORM.
+  /// No-op when disabled or before an epoch is attached.
+  Status FlushLog();
+
   // --- IoHook ---
   Status OnPageRead(PageId pgno, const Page& image) override;
   Status OnPageWrite(PageId pgno, const Page& image) override;
+  Status OnPageWriteBarrier(PageId pgno) override;
 
   // --- StructureObserver ---
   Status OnPageSplit(uint32_t tree_id, uint8_t level, PageId old_pgno,
@@ -138,6 +161,11 @@ class ComplianceLogger : public IoHook,
                        const IndexState& old_state,
                        const IndexState& new_state);
 
+  ComplianceLogOptions LogOptions() const;
+  /// Sync mode: flush inline (the classic per-hook durability point).
+  /// Async mode: no-op — durability is deferred to the barriers.
+  Status MaybeSyncFlush();
+
   ComplianceOptions options_;
   WormStore* worm_;
   DiskManager* disk_;
@@ -150,6 +178,11 @@ class ComplianceLogger : public IoHook,
 
   std::map<PageId, PageState> baseline_;
   std::map<PageId, IndexState> index_baseline_;
+  // Async shipping: per-page high-water mark — the logical L offset after
+  // the last record mentioning the page. OnPageWriteBarrier stalls the
+  // pwrite until the log is durable through this offset (WAL-style
+  // "log before data" applied to the compliance log).
+  std::map<PageId, uint64_t> page_high_water_;
   // Baselines known to be ahead of the on-disk image (unpinnable).
   std::set<PageId> unsynced_;
   // FIFO of eviction candidates; entries may be stale (lazily skipped).

@@ -1,0 +1,174 @@
+#include "compliance/shipper.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace complydb {
+
+namespace {
+struct ShipperMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* flushes;
+  obs::Counter* shipped_bytes;
+  obs::Histogram* records_per_flush;
+  ShipperMetrics() {
+    auto& reg = obs::MetricsRegistry::Global();
+    queue_depth = reg.GetGauge("compliance.shipper.queue_depth");
+    flushes = reg.GetCounter("compliance.shipper.flushes");
+    shipped_bytes = reg.GetCounter("compliance.shipper.shipped_bytes");
+    records_per_flush = reg.GetHistogram("compliance.shipper.records_per_flush");
+  }
+};
+ShipperMetrics& Sm() {
+  static ShipperMetrics m;
+  return m;
+}
+}  // namespace
+
+LogShipper::LogShipper(WormStore* worm, std::string log_file,
+                       std::string index_file, uint64_t durable_offset,
+                       uint64_t window_micros)
+    : worm_(worm),
+      log_file_(std::move(log_file)),
+      index_file_(std::move(index_file)),
+      window_micros_(window_micros),
+      appended_offset_(durable_offset),
+      durable_offset_(durable_offset) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+LogShipper::~LogShipper() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Ring contents are dropped, not shipped: destroying the shipper
+    // without a preceding WaitDurable models a crash, and the barriers
+    // guarantee nothing that matters was still in the ring.
+    pending_log_.clear();
+    pending_index_.clear();
+    pending_records_ = 0;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+  Sm().queue_depth->Set(0);
+}
+
+void LogShipper::EnqueueLog(std::string framed, uint64_t end_offset) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_log_.append(framed);
+    appended_offset_ = end_offset;
+    ++pending_records_;
+    Sm().queue_depth->Set(static_cast<int64_t>(pending_records_));
+  }
+  work_cv_.notify_one();
+}
+
+void LogShipper::EnqueueIndex(std::string entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_index_.append(entry);
+  }
+  work_cv_.notify_one();
+}
+
+Status LogShipper::WaitDurable(uint64_t offset) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (offset > flush_target_) flush_target_ = offset;
+  while (durable_offset_ < offset && error_.ok()) {
+    if (draining_) {
+      // A drain is in flight (shipper thread or another barrier); wait for
+      // it to land, then re-check — it may not have covered our offset.
+      durable_cv_.wait(lock, [&] {
+        return !draining_ || durable_offset_ >= offset || !error_.ok();
+      });
+      continue;
+    }
+    DrainLocked(lock);
+  }
+  return error_;
+}
+
+uint64_t LogShipper::durable_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_offset_;
+}
+
+Status LogShipper::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+void LogShipper::DrainLocked(std::unique_lock<std::mutex>& lock) {
+  draining_ = true;
+  std::string log_bytes;
+  std::string index_bytes;
+  log_bytes.swap(pending_log_);
+  index_bytes.swap(pending_index_);
+  uint64_t end = appended_offset_;
+  uint64_t records = pending_records_;
+  pending_records_ = 0;
+  Sm().queue_depth->Set(0);
+  lock.unlock();
+
+  Status s;
+  if (!log_bytes.empty()) s = worm_->AppendUnflushed(log_file_, log_bytes);
+  if (s.ok() && !index_bytes.empty()) {
+    // The index rides the same drain unflushed; its durability is lazy
+    // (reconciled from L on reopen), so a commit pays exactly one fflush.
+    s = worm_->AppendUnflushed(index_file_, index_bytes);
+  }
+  if (s.ok()) s = worm_->FlushAppends(log_file_);
+  if (s.ok() && records > 0) {
+    Sm().flushes->Inc();
+    Sm().shipped_bytes->Inc(log_bytes.size() + index_bytes.size());
+    Sm().records_per_flush->Record(records);
+  }
+
+  lock.lock();
+  draining_ = false;
+  if (!s.ok()) {
+    error_ = s;
+  } else {
+    durable_offset_ = end;
+  }
+  durable_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+void LogShipper::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ ||
+             (!draining_ &&
+              (!pending_log_.empty() || !pending_index_.empty() ||
+               flush_target_ > durable_offset_));
+    });
+    if (stop_) return;
+    if (!error_.ok()) {
+      // Sticky error: the pipeline is dead, every waiter (present and
+      // future) is handed the error by WaitDurable's predicate.
+      durable_cv_.notify_all();
+      return;
+    }
+    if (window_micros_ > 0 && flush_target_ <= durable_offset_) {
+      // Group-commit window: nobody is stalled on a barrier, so linger to
+      // let more records accumulate under the same fflush.
+      work_cv_.wait_for(lock, std::chrono::microseconds(window_micros_), [&] {
+        return stop_ || (!draining_ && flush_target_ > durable_offset_);
+      });
+      if (stop_) return;
+    }
+    // A barrier may have stolen the drain while we lingered.
+    if (draining_ || (pending_log_.empty() && pending_index_.empty() &&
+                      flush_target_ <= durable_offset_)) {
+      continue;
+    }
+    DrainLocked(lock);
+  }
+}
+
+}  // namespace complydb

@@ -1,0 +1,101 @@
+#ifndef COMPLYDB_COMPLIANCE_SHIPPER_H_
+#define COMPLYDB_COMPLIANCE_SHIPPER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+/// Background drainer for the asynchronous compliance-log pipeline.
+///
+/// The logging thread appends encoded records to an in-memory ring (two
+/// coalesced byte buffers: one for L, one for the stamp index) and keeps
+/// running; a single shipper thread drains the ring FIFO into WormStore
+/// appends, amortizing one fflush over every record accumulated since the
+/// previous drain (group commit). Because exactly one thread drains in
+/// enqueue order, the bytes that reach WORM are identical to what the
+/// synchronous path would have written — only *when* they become durable
+/// changes, and that is governed by the two WAL-style barriers
+/// (WaitDurable) the ComplianceLogger enforces.
+///
+/// Durability bookkeeping is in logical L offsets: `appended_offset` is
+/// the end offset of everything enqueued, `durable_offset()` the end
+/// offset of everything fflushed to WORM. A barrier at offset X returns
+/// once durable_offset() >= X.
+///
+/// Destruction joins the thread *without* draining: records still in the
+/// ring are dropped, exactly as a crash would drop them. Callers that want
+/// a clean shutdown (Close) issue a full WaitDurable first.
+class LogShipper {
+ public:
+  /// `durable_offset` is the logical size of the log file at start (all of
+  /// it already durable). `window_micros` is the group-commit window: with
+  /// no barrier pending, the shipper waits up to this long after the first
+  /// enqueue to accumulate more records before paying the fflush. Barriers
+  /// preempt the window.
+  LogShipper(WormStore* worm, std::string log_file, std::string index_file,
+             uint64_t durable_offset, uint64_t window_micros);
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Enqueues one encoded record destined for L. `end_offset` is the
+  /// logical L size after this record (monotonically increasing; enforced
+  /// by the single logging thread).
+  void EnqueueLog(std::string framed, uint64_t end_offset);
+
+  /// Enqueues one 24-byte stamp-index entry (rides the same drain as its
+  /// STAMP_TRANS record, so a commit costs one flush, not two).
+  void EnqueueIndex(std::string entry);
+
+  /// Blocks until everything up to `offset` is durable on WORM (or the
+  /// shipper hit a sticky I/O error, which is returned). When no drain is
+  /// in flight the caller steals the drain and ships inline — a barrier
+  /// costs the fflush but never a thread handoff; the shipper thread only
+  /// services window-expiry background drains.
+  Status WaitDurable(uint64_t offset);
+
+  uint64_t durable_offset() const;
+
+  /// Sticky error from a failed ship; once set, every WaitDurable returns
+  /// it — compliance logging cannot continue past a WORM outage.
+  Status error() const;
+
+ private:
+  void Loop();
+  /// Swaps out the ring and ships it. Caller holds `lock` and has checked
+  /// `!draining_`; the lock is released during the WORM I/O and re-held on
+  /// return. FIFO order is preserved because `draining_` admits one
+  /// drainer at a time.
+  void DrainLocked(std::unique_lock<std::mutex>& lock);
+
+  WormStore* worm_;
+  const std::string log_file_;
+  const std::string index_file_;
+  const uint64_t window_micros_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // signals the shipper
+  std::condition_variable durable_cv_;  // signals barrier waiters
+  std::string pending_log_;
+  std::string pending_index_;
+  uint64_t pending_records_ = 0;
+  uint64_t appended_offset_;  // end offset of everything enqueued
+  uint64_t durable_offset_;   // end offset of everything flushed
+  uint64_t flush_target_ = 0;  // highest barrier offset requested
+  bool draining_ = false;      // a drainer (thread or barrier) is mid-ship
+  Status error_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_COMPLIANCE_SHIPPER_H_

@@ -25,10 +25,12 @@ std::string CleanMarkerPath(const std::string& dir) {
 struct DbMetrics {
   obs::Counter* regret_ticks;
   obs::Histogram* regret_tick_us;
+  obs::Histogram* commit_us;
   DbMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
     regret_ticks = reg.GetCounter("db.regret_ticks");
     regret_tick_us = reg.GetHistogram("db.regret_tick_us");
+    commit_us = reg.GetHistogram("db.commit_us");
   }
 };
 DbMetrics& Dm() {
@@ -68,6 +70,7 @@ Status CompliantDB::Init() {
   auto worm = WormStore::Open(options_.dir + "/worm", clock_);
   if (!worm.ok()) return worm.status();
   worm_.reset(worm.value());
+  worm_->set_flush_latency_micros(options_.worm_flush_latency_micros);
 
   auto disk = DiskManager::Open(db_path());
   if (!disk.ok()) return disk.status();
@@ -98,6 +101,18 @@ Status CompliantDB::Init() {
     cache_->Unpin(kMetaPage, true);
     CDB_RETURN_IF_ERROR(SaveCatalog());
     CDB_RETURN_IF_ERROR(cache_->FlushAll());
+  }
+
+  // Async shipping can be forced on or off from the environment (CI runs
+  // the whole suite both ways without rebuilding).
+  if (const char* env = std::getenv("COMPLYDB_COMPLIANCE_ASYNC")) {
+    options_.compliance.async_shipping = env[0] != '0' && env[0] != '\0';
+  }
+  if (options_.read_only) {
+    // A read-only facade must not spawn a writer thread nor repair the
+    // stamp index (both write to WORM).
+    options_.compliance.async_shipping = false;
+    options_.compliance.repair_stamp_index = false;
   }
 
   // Compliance epoch discovery from WORM (the trustworthy namespace).
@@ -276,6 +291,10 @@ Status CompliantDB::Init() {
       }
     }
     CDB_RETURN_IF_ERROR(RotateTxTail());
+    // Open is a full-flush point: attach-time page reads may have queued
+    // READ_HASH records with the async shipper, and external auditors read
+    // L straight off the WORM store the moment Open returns.
+    CDB_RETURN_IF_ERROR(logger_->FlushLog());
   }
   return Status::OK();
 }
@@ -289,6 +308,7 @@ Status CompliantDB::Close() {
   CDB_RETURN_IF_ERROR(txns_->StampPending(0));
   CDB_RETURN_IF_ERROR(cache_->FlushAll());
   CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  CDB_RETURN_IF_ERROR(logger_->FlushLog());
   std::ofstream marker(CleanMarkerPath(options_.dir));
   if (!marker.is_open()) return Status::IOError("clean marker");
   marker << "clean\n";
@@ -524,11 +544,18 @@ Status CompliantDB::Get(uint32_t table, Slice key, std::string* value) {
 }
 
 Status CompliantDB::Commit(Transaction* txn) {
+  // End-to-end commit latency as the client sees it: WAL flush, the
+  // compliance barrier, background stamping, and any regret tick that
+  // fires on this call — the tail the async shipper exists to shorten.
+  obs::ScopedLatencyTimer timer(Dm().commit_us);
   CDB_RETURN_IF_ERROR(txns_->Commit(txn));
   // The background timestamper keeps pace with commits (the regret tick
-  // is its hard deadline; this is its steady-state progress).
-  if (txns_->pending_stamp_count() >= 64) {
-    CDB_RETURN_IF_ERROR(txns_->StampPending(32));
+  // is its hard deadline; this is its steady-state progress). Small
+  // per-commit slices instead of periodic bursts: total stamping work is
+  // unchanged, but no single commit absorbs a 32-transaction backlog —
+  // the bursts used to be the commit tail right below the regret ticks.
+  if (txns_->pending_stamp_count() >= 4) {
+    CDB_RETURN_IF_ERROR(txns_->StampPending(2));
   }
   return MaybeRegretTick();
 }
@@ -709,7 +736,10 @@ Status CompliantDB::RotateTxTail() {
 Status CompliantDB::FlushAll() {
   CDB_RETURN_IF_ERROR(txns_->StampPending(0));
   CDB_RETURN_IF_ERROR(cache_->FlushAll());
-  return wal_->FlushAll();
+  CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  // Drain the compliance ring last: quiescing (Audit) must leave nothing
+  // in flight.
+  return logger_->FlushLog();
 }
 
 // --- statistics ----------------------------------------------------------

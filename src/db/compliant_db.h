@@ -54,6 +54,12 @@ struct DbOptions {
   /// benchmark harness uses this to model the paper's NFS filer.
   uint64_t io_latency_micros = 0;
 
+  /// Simulated WORM-server latency per durable flush (0 = none). The
+  /// paper's compliance store is a network-attached filer too; each
+  /// fflush of L models one round trip to it. The commit-path benchmark
+  /// sets this to expose the round trips group commit amortizes away.
+  uint64_t worm_flush_latency_micros = 0;
+
   /// Forensic inspection mode: no recovery, no compliance appends, every
   /// mutating API refused. The view can be stale after a crash (recovery
   /// has not run); use tools/cdb_audit for the authoritative verdict.

@@ -1,7 +1,5 @@
 #include "storage/buffer_cache.h"
 
-#include <limits>
-
 #include "obs/trace.h"
 
 namespace complydb {
@@ -18,13 +16,89 @@ BufferCache::BufferCache(DiskManager* disk, size_t capacity)
   reg_page_forces_ = reg.GetCounter("storage.cache.page_forces");
 }
 
+void BufferCache::LruRemove(size_t idx) {
+  Frame* f = &frames_[idx];
+  if (!f->in_lru) return;
+  if (f->lru_prev != kNil) {
+    frames_[f->lru_prev].lru_next = f->lru_next;
+  } else {
+    lru_head_ = f->lru_next;
+  }
+  if (f->lru_next != kNil) {
+    frames_[f->lru_next].lru_prev = f->lru_prev;
+  } else {
+    lru_tail_ = f->lru_prev;
+  }
+  f->lru_prev = kNil;
+  f->lru_next = kNil;
+  f->in_lru = false;
+}
+
+void BufferCache::LruPushMru(size_t idx) {
+  Frame* f = &frames_[idx];
+  if (f->in_lru) return;
+  f->lru_prev = lru_tail_;
+  f->lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    frames_[lru_tail_].lru_next = idx;
+  } else {
+    lru_head_ = idx;
+  }
+  lru_tail_ = idx;
+  f->in_lru = true;
+}
+
+void BufferCache::LruPushLru(size_t idx) {
+  Frame* f = &frames_[idx];
+  if (f->in_lru) return;
+  f->lru_next = lru_head_;
+  f->lru_prev = kNil;
+  if (lru_head_ != kNil) {
+    frames_[lru_head_].lru_prev = idx;
+  } else {
+    lru_tail_ = idx;
+  }
+  lru_head_ = idx;
+  f->in_lru = true;
+}
+
 Status BufferCache::WriteOut(Frame* frame) {
   for (IoHook* hook : hooks_) {
     CDB_RETURN_IF_ERROR(hook->OnPageWrite(frame->pgno, frame->page));
   }
+  for (IoHook* hook : hooks_) {
+    CDB_RETURN_IF_ERROR(hook->OnPageWriteBarrier(frame->pgno));
+  }
   CDB_RETURN_IF_ERROR(disk_->WritePage(frame->pgno, frame->page));
   frame->dirty = false;
   frame->marked = false;
+  return Status::OK();
+}
+
+// Batch write-out in three phases: every page's records are appended
+// (OnPageWrite), then every page's durability barrier runs — with the
+// async shipper the first barrier drains the whole ring, so one WORM
+// fflush covers the entire storm — and only then do the pwrites happen.
+// An error in any phase aborts before a single page reaches disk, which
+// preserves the compliance rule (no pwrite without its records on WORM).
+Status BufferCache::WriteOutBatch(const std::vector<size_t>& batch) {
+  for (size_t idx : batch) {
+    Frame* frame = &frames_[idx];
+    for (IoHook* hook : hooks_) {
+      CDB_RETURN_IF_ERROR(hook->OnPageWrite(frame->pgno, frame->page));
+    }
+  }
+  for (size_t idx : batch) {
+    for (IoHook* hook : hooks_) {
+      CDB_RETURN_IF_ERROR(hook->OnPageWriteBarrier(frames_[idx].pgno));
+    }
+  }
+  for (size_t idx : batch) {
+    Frame* frame = &frames_[idx];
+    CDB_RETURN_IF_ERROR(disk_->WritePage(frame->pgno, frame->page));
+    frame->dirty = false;
+    frame->marked = false;
+  }
   return Status::OK();
 }
 
@@ -34,22 +108,22 @@ Result<size_t> BufferCache::FindVictim() {
     free_list_.pop_back();
     return idx;
   }
-  size_t victim = capacity_;
-  uint64_t best = std::numeric_limits<uint64_t>::max();
-  for (size_t i = 0; i < capacity_; ++i) {
-    if (frames_[i].pin_count == 0 && frames_[i].lru_tick < best) {
-      best = frames_[i].lru_tick;
-      victim = i;
-    }
-  }
-  if (victim == capacity_) {
+  if (lru_head_ == kNil) {
     return Status::Busy("buffer cache: all frames pinned");
   }
+  size_t victim = lru_head_;
+  LruRemove(victim);
   Frame* frame = &frames_[victim];
   if (frame->dirty) {
     // Steal: the page may hold uncommitted data; the WAL hook guarantees
     // the write-ahead rule before the bytes reach disk.
-    CDB_RETURN_IF_ERROR(WriteOut(frame));
+    Status s = WriteOut(frame);
+    if (!s.ok()) {
+      // Still resident and dirty; keep it coldest so the next eviction
+      // retries it first.
+      LruPushLru(victim);
+      return s;
+    }
   }
   table_.erase(frame->pgno);
   evictions_.Inc();
@@ -61,8 +135,8 @@ Status BufferCache::FetchPage(PageId pgno, Page** out) {
   auto it = table_.find(pgno);
   if (it != table_.end()) {
     Frame* frame = &frames_[it->second];
+    if (frame->pin_count == 0) LruRemove(it->second);
     ++frame->pin_count;
-    frame->lru_tick = ++tick_;
     hits_.Inc();
     reg_hits_->Inc();
     *out = &frame->page;
@@ -90,7 +164,6 @@ Status BufferCache::FetchPage(PageId pgno, Page** out) {
   frame->dirty = false;
   frame->marked = false;
   frame->pin_count = 1;
-  frame->lru_tick = ++tick_;
   table_[pgno] = idx;
   *out = &frame->page;
   return Status::OK();
@@ -109,7 +182,6 @@ Result<PageId> BufferCache::NewPage(Page** out) {
   frame->dirty = true;
   frame->marked = false;
   frame->pin_count = 1;
-  frame->lru_tick = ++tick_;
   table_[pgno] = idx;
   *out = &frame->page;
   return pgno;
@@ -121,6 +193,7 @@ void BufferCache::Unpin(PageId pgno, bool dirty) {
   Frame* frame = &frames_[it->second];
   if (frame->pin_count > 0) --frame->pin_count;
   if (dirty) frame->dirty = true;
+  if (frame->pin_count == 0) LruPushMru(it->second);
 }
 
 Status BufferCache::FlushPage(PageId pgno) {
@@ -132,24 +205,30 @@ Status BufferCache::FlushPage(PageId pgno) {
 }
 
 Status BufferCache::FlushAll() {
-  for (auto& frame : frames_) {
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < capacity_; ++i) {
+    Frame& frame = frames_[i];
     if (frame.pgno != kInvalidPage && table_.count(frame.pgno) > 0 &&
         frame.dirty) {
-      CDB_RETURN_IF_ERROR(WriteOut(&frame));
+      batch.push_back(i);
     }
   }
+  CDB_RETURN_IF_ERROR(WriteOutBatch(batch));
   return disk_->Sync();
 }
 
 Status BufferCache::FlushMarkedAndRemark() {
-  for (auto& frame : frames_) {
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < capacity_; ++i) {
+    Frame& frame = frames_[i];
     if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
-    if (frame.dirty && frame.marked) {
-      CDB_RETURN_IF_ERROR(WriteOut(&frame));
-      reg_page_forces_->Inc();
-      obs::TraceRing::Global().Emit(obs::TraceEventType::kPageForce,
-                                    frame.pgno);
-    }
+    if (frame.dirty && frame.marked) batch.push_back(i);
+  }
+  CDB_RETURN_IF_ERROR(WriteOutBatch(batch));
+  for (size_t idx : batch) {
+    reg_page_forces_->Inc();
+    obs::TraceRing::Global().Emit(obs::TraceEventType::kPageForce,
+                                  frames_[idx].pgno);
   }
   for (auto& frame : frames_) {
     if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
@@ -167,6 +246,8 @@ Status BufferCache::DropAll() {
   }
   table_.clear();
   free_list_.clear();
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
   for (size_t i = capacity_; i-- > 0;) {
     frames_[i] = Frame{};
     free_list_.push_back(i);

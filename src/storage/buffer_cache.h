@@ -67,17 +67,28 @@ class BufferCache {
   DiskManager* disk() const { return disk_; }
 
  private:
+  static constexpr size_t kNil = static_cast<size_t>(-1);
+
   struct Frame {
     Page page;
     PageId pgno = kInvalidPage;
     bool dirty = false;
     bool marked = false;
     int pin_count = 0;
-    uint64_t lru_tick = 0;
+    // Intrusive LRU list links (frame indices). Only unpinned resident
+    // frames are on the list; head is the eviction candidate, tail the
+    // most recently unpinned.
+    size_t lru_prev = kNil;
+    size_t lru_next = kNil;
+    bool in_lru = false;
   };
 
   Status WriteOut(Frame* frame);
+  Status WriteOutBatch(const std::vector<size_t>& batch);
   Result<size_t> FindVictim();
+  void LruRemove(size_t idx);
+  void LruPushMru(size_t idx);
+  void LruPushLru(size_t idx);
 
   DiskManager* disk_;
   size_t capacity_;
@@ -85,7 +96,8 @@ class BufferCache {
   std::unordered_map<PageId, size_t> table_;
   std::vector<size_t> free_list_;
   std::vector<IoHook*> hooks_;
-  uint64_t tick_ = 0;
+  size_t lru_head_ = kNil;
+  size_t lru_tail_ = kNil;
   // Per-instance counts (the DbStats/accessor contract); the process-wide
   // registry aggregates the same events across instances under
   // storage.cache.*.

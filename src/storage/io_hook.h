@@ -15,6 +15,13 @@ namespace complydb {
 ///    on-disk copy. A non-OK status aborts the write — this is how
 ///    "data page writes wait until their corresponding NEW_TUPLE records
 ///    have reached the WORM server" is enforced.
+///  - OnPageWriteBarrier: after OnPageWrite has run for every page of the
+///    batch, still before any disk write. With the asynchronous shipping
+///    pipeline, OnPageWrite only *appends* the diff records; this second
+///    phase is where the pwrite stalls until the records describing the
+///    page are durable on WORM. Batching the barriers lets one WORM
+///    fflush cover a whole dirty-page storm. Synchronous hooks need no
+///    barrier, hence the default no-op.
 ///
 /// Hooks run in registration order; the WAL hook (write-ahead rule) is
 /// registered before the compliance logger.
@@ -24,6 +31,10 @@ class IoHook {
 
   virtual Status OnPageRead(PageId pgno, const Page& image) = 0;
   virtual Status OnPageWrite(PageId pgno, const Page& image) = 0;
+  virtual Status OnPageWriteBarrier(PageId pgno) {
+    (void)pgno;
+    return Status::OK();
+  }
 };
 
 }  // namespace complydb

@@ -1,9 +1,11 @@
 #include "worm/worm_store.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "common/coding.h"
 #include "obs/metrics.h"
@@ -21,12 +23,14 @@ constexpr size_t kMaxName = 4096;
 struct WormMetrics {
   obs::Counter* appends;
   obs::Counter* append_bytes;
+  obs::Counter* flushes;
   obs::Counter* violations;
   obs::Histogram* append_us;
   WormMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
     appends = reg.GetCounter("worm.appends");
     append_bytes = reg.GetCounter("worm.append_bytes");
+    flushes = reg.GetCounter("worm.flushes");
     violations = reg.GetCounter("worm.violations");
     append_us = reg.GetHistogram("worm.append_us");
   }
@@ -57,7 +61,7 @@ WormStore::~WormStore() {
   for (auto& [name, handle] : handles_) {
     if (handle != nullptr) std::fclose(handle);
   }
-  (void)SaveMeta();
+  (void)SaveMetaLocked();
 }
 
 Result<std::FILE*> WormStore::AppendHandle(const std::string& name) {
@@ -74,7 +78,7 @@ std::string WormStore::PathFor(const std::string& name) const {
 }
 
 Status WormStore::Violation(const std::string& what) const {
-  ++violations_;
+  violations_.fetch_add(1, std::memory_order_relaxed);
   Wm().violations->Inc();
   return Status::WormViolation(what);
 }
@@ -101,13 +105,19 @@ Status WormStore::LoadMeta() {
     // Reconcile with the actual file (appends persist sizes lazily).
     std::error_code ec;
     auto actual = fs::file_size(PathFor(name), ec);
-    if (!ec && actual > info.size) info.size = actual;
+    if (!ec && actual > info.size) {
+      info.size = actual;
+      meta_dirty_ = true;
+    }
+    // Everything that survived to disk is durable.
+    info.durable_size = info.size;
     meta_[name] = info;
   }
   return Status::OK();
 }
 
-Status WormStore::SaveMeta() const {
+Status WormStore::SaveMetaLocked() const {
+  if (!meta_dirty_) return Status::OK();
   std::string blob;
   PutFixed32(&blob, static_cast<uint32_t>(meta_.size()));
   for (const auto& [name, info] : meta_) {
@@ -128,10 +138,12 @@ Status WormStore::SaveMeta() const {
   std::error_code ec;
   fs::rename(tmp, PathFor(kMetaFileName), ec);
   if (ec) return Status::IOError("worm meta rename: " + ec.message());
+  meta_dirty_ = false;
   return Status::OK();
 }
 
-Status WormStore::Create(const std::string& name, uint64_t retention_micros) {
+Status WormStore::CreateLocked(const std::string& name,
+                               uint64_t retention_micros) {
   if (name.empty() || name == kMetaFileName || name.find('/') != std::string::npos) {
     return Status::InvalidArgument("worm: bad file name: " + name);
   }
@@ -145,11 +157,18 @@ Status WormStore::Create(const std::string& name, uint64_t retention_micros) {
   info.create_time_micros = clock_->NowMicros();
   info.retention_micros = retention_micros;
   info.size = 0;
+  info.durable_size = 0;
   meta_[name] = info;
-  return SaveMeta();
+  meta_dirty_ = true;
+  return SaveMetaLocked();
 }
 
-Status WormStore::AppendUnflushed(const std::string& name, Slice data) {
+Status WormStore::Create(const std::string& name, uint64_t retention_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CreateLocked(name, retention_micros);
+}
+
+Status WormStore::AppendUnflushedLocked(const std::string& name, Slice data) {
   auto it = meta_.find(name);
   if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
   WormMetrics& wm = Wm();
@@ -166,33 +185,83 @@ Status WormStore::AppendUnflushed(const std::string& name, Slice data) {
   // change); on reopen LoadMeta reconciles against the real file size, so
   // a stale persisted size can only under-count — never mask truncation.
   it->second.size += data.size();
+  meta_dirty_ = true;
   return Status::OK();
 }
 
-Status WormStore::FlushAppends(const std::string& name) {
+Status WormStore::AppendUnflushed(const std::string& name, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendUnflushedLocked(name, data);
+}
+
+Status WormStore::FlushAppendsLocked(const std::string& name) {
   auto it = handles_.find(name);
   if (it == handles_.end()) return Status::OK();
   if (std::fflush(it->second) != 0) {
     return Status::IOError("worm: append flush " + name);
   }
+  Wm().flushes->Inc();
+  auto info = meta_.find(name);
+  if (info != meta_.end()) info->second.durable_size = info->second.size;
+  return Status::OK();
+}
+
+Status WormStore::FlushAppends(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CDB_RETURN_IF_ERROR(FlushAppendsLocked(name));
+  }
+  SimulateFlushLatency();
   return Status::OK();
 }
 
 Status WormStore::Append(const std::string& name, Slice data) {
-  CDB_RETURN_IF_ERROR(AppendUnflushed(name, data));
-  return FlushAppends(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CDB_RETURN_IF_ERROR(AppendUnflushedLocked(name, data));
+    CDB_RETURN_IF_ERROR(FlushAppendsLocked(name));
+  }
+  SimulateFlushLatency();
+  return Status::OK();
 }
 
 Status WormStore::CreateWithContent(const std::string& name,
                                     uint64_t retention_micros, Slice content) {
-  CDB_RETURN_IF_ERROR(Create(name, retention_micros));
-  if (!content.empty()) return Append(name, content);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CDB_RETURN_IF_ERROR(CreateLocked(name, retention_micros));
+    if (content.empty()) return Status::OK();
+    CDB_RETURN_IF_ERROR(AppendUnflushedLocked(name, content));
+    CDB_RETURN_IF_ERROR(FlushAppendsLocked(name));
+  }
+  SimulateFlushLatency();
   return Status::OK();
 }
 
-Status WormStore::ReadAll(const std::string& name, std::string* out) const {
+void WormStore::SimulateFlushLatency() const {
+  // One round trip to the network WORM filer per durable flush. Paid
+  // *outside* mu_: the filer serves concurrent requests, so a flush in
+  // flight must not make unrelated appends (the WAL tail mirror, a
+  // barrier drain on another thread) queue behind its latency.
+  if (flush_latency_micros_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(flush_latency_micros_));
+  }
+}
+
+Status WormStore::ReadAllLocked(const std::string& name,
+                                std::string* out) const {
   auto it = meta_.find(name);
   if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  // Drain any bytes still in our own append buffer so the read observes
+  // every issued append (matters for the lazily-flushed stamp index).
+  auto handle = handles_.find(name);
+  if (handle != handles_.end()) {
+    if (std::fflush(handle->second) != 0) {
+      return Status::IOError("worm: append flush " + name);
+    }
+    it->second.durable_size = it->second.size;
+  }
   std::ifstream in(PathFor(name), std::ios::binary);
   if (!in.is_open()) return Status::IOError("worm: read open " + name);
   out->assign((std::istreambuf_iterator<char>(in)),
@@ -206,10 +275,18 @@ Status WormStore::ReadAll(const std::string& name, std::string* out) const {
   return Status::OK();
 }
 
+Status WormStore::ReadAll(const std::string& name, std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadAllLocked(name, out);
+}
+
 Status WormStore::ReadAt(const std::string& name, uint64_t offset, size_t n,
                          std::string* out) const {
   std::string all;
-  CDB_RETURN_IF_ERROR(ReadAll(name, &all));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CDB_RETURN_IF_ERROR(ReadAllLocked(name, &all));
+  }
   if (offset >= all.size()) {
     out->clear();
     return Status::OK();
@@ -219,6 +296,7 @@ Status WormStore::ReadAt(const std::string& name, uint64_t offset, size_t n,
 }
 
 Status WormStore::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = meta_.find(name);
   if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
   const WormFileInfo& info = it->second;
@@ -241,27 +319,34 @@ Status WormStore::Delete(const std::string& name) {
   fs::remove(PathFor(name), ec);
   if (ec) return Status::IOError("worm: delete " + name + ": " + ec.message());
   meta_.erase(it);
-  return SaveMeta();
+  meta_dirty_ = true;
+  return SaveMetaLocked();
 }
 
 Status WormStore::ReleaseRetention(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = meta_.find(name);
   if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  if (it->second.released) return Status::OK();  // nothing changed: no write
   it->second.released = true;
-  return SaveMeta();
+  meta_dirty_ = true;
+  return SaveMetaLocked();
 }
 
 bool WormStore::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return meta_.count(name) > 0;
 }
 
 Result<WormFileInfo> WormStore::GetInfo(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = meta_.find(name);
   if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
   return it->second;
 }
 
 std::vector<std::string> WormStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(meta_.size());
   for (const auto& [name, info] : meta_) names.push_back(name);
@@ -269,6 +354,7 @@ std::vector<std::string> WormStore::List() const {
 }
 
 std::vector<std::string> WormStore::ListPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   for (auto it = meta_.lower_bound(prefix); it != meta_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;

@@ -1,9 +1,11 @@
 #ifndef COMPLYDB_WORM_WORM_STORE_H_
 #define COMPLYDB_WORM_WORM_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,10 @@ struct WormFileInfo {
   uint64_t retention_micros = 0;  // 0 = retain forever (until explicit audit release)
   uint64_t size = 0;
   bool released = false;  // an audit marked the file superseded
+  /// Bytes known flushed to the OS (in-memory bookkeeping only, never
+  /// persisted: on load everything on disk is by definition durable).
+  /// `size - durable_size` is what an un-flushed crash would lose.
+  uint64_t durable_size = 0;
 };
 
 /// Emulation of a compliance storage server (SnapLock / Centera class):
@@ -38,6 +44,11 @@ struct WormFileInfo {
 ///
 /// Files live under a directory; metadata (create time, retention) lives
 /// in a sidecar `_worm_meta` file that is part of the trusted emulation.
+///
+/// Thread-safe: the compliance log shipper appends from its own thread
+/// while the main thread creates witness files, mirrors the WAL tail, and
+/// reads for audits. One mutex serializes the whole store — the real
+/// contention is the media, not the map.
 class WormStore {
  public:
   /// Opens (creating if needed) a WORM store rooted at `dir`. `clock` must
@@ -60,7 +71,7 @@ class WormStore {
 
   /// Append without the flush, for callers that batch several records and
   /// then call FlushAppends once (the compliance logger batches all
-  /// records of one pwrite diff).
+  /// records of one pwrite diff; the async shipper batches whole drains).
   Status AppendUnflushed(const std::string& name, Slice data);
   Status FlushAppends(const std::string& name);
 
@@ -68,7 +79,9 @@ class WormStore {
   Status CreateWithContent(const std::string& name, uint64_t retention_micros,
                            Slice content);
 
-  /// Reads the whole file.
+  /// Reads the whole file. Any bytes sitting in this store's append
+  /// buffer are flushed first, so an in-process reader (the auditor)
+  /// always sees every append that has been issued.
   Status ReadAll(const std::string& name, std::string* out) const;
 
   /// Reads up to n bytes at offset; short reads at EOF are not an error.
@@ -81,6 +94,7 @@ class WormStore {
 
   /// Marks a file as releasable immediately (the auditor calls this for
   /// superseded snapshots and compliance logs after a successful audit).
+  /// No-op (and no metadata write) if already released.
   Status ReleaseRetention(const std::string& name);
 
   bool Exists(const std::string& name) const;
@@ -94,7 +108,19 @@ class WormStore {
   std::vector<std::string> ListPrefix(const std::string& prefix) const;
 
   /// Number of refused tampering attempts since open.
-  uint64_t violation_count() const { return violations_; }
+  uint64_t violation_count() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+  /// Simulated latency per durable flush. The paper's compliance store is
+  /// a network-attached WORM filer (SnapLock/Centera class); every fflush
+  /// models one round trip to it. 0 = local, free. Benchmarks use this to
+  /// expose how many round trips a configuration pays — the async shipper
+  /// exists to amortize them.
+  void set_flush_latency_micros(uint64_t micros) {
+    flush_latency_micros_ = micros;
+  }
+  uint64_t flush_latency_micros() const { return flush_latency_micros_; }
 
   Clock* clock() const { return clock_; }
   const std::string& dir() const { return dir_; }
@@ -104,18 +130,31 @@ class WormStore {
       : dir_(std::move(dir)), clock_(clock) {}
 
   Status LoadMeta();
-  Status SaveMeta() const;
+  // *Locked variants require mu_ held; public methods take it once.
+  Status SaveMetaLocked() const;
+  Status CreateLocked(const std::string& name, uint64_t retention_micros);
+  Status AppendUnflushedLocked(const std::string& name, Slice data);
+  Status FlushAppendsLocked(const std::string& name);
+  Status ReadAllLocked(const std::string& name, std::string* out) const;
   std::string PathFor(const std::string& name) const;
+  void SimulateFlushLatency() const;
   Status Violation(const std::string& what) const;
   Result<std::FILE*> AppendHandle(const std::string& name);
 
   std::string dir_;
   Clock* clock_;
-  std::map<std::string, WormFileInfo> meta_;
+  mutable std::mutex mu_;
+  // mutable: ReadAll advances durable_size after draining the handle.
+  mutable std::map<std::string, WormFileInfo> meta_;
   // Cached append handles: the compliance log appends a record per tuple,
   // and fopen/fclose per record would dominate transaction cost.
-  std::map<std::string, std::FILE*> handles_;
-  mutable uint64_t violations_ = 0;
+  // mutable: ReadAll must be able to drain a handle's buffered bytes.
+  mutable std::map<std::string, std::FILE*> handles_;
+  // Set whenever meta_ diverges from the persisted sidecar; SaveMeta
+  // skips the write (and its rename) when nothing changed.
+  mutable bool meta_dirty_ = false;
+  mutable std::atomic<uint64_t> violations_{0};
+  uint64_t flush_latency_micros_ = 0;
 };
 
 }  // namespace complydb

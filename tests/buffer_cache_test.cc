@@ -80,6 +80,25 @@ TEST_F(BufferCacheTest, EvictionWritesDirtyAndReloads) {
   EXPECT_EQ(ReadStamp(&cache, c), 3u);
 }
 
+TEST_F(BufferCacheTest, EvictsInLeastRecentlyUsedOrder) {
+  RecordingHook hook;
+  BufferCache cache(disk_.get(), 3);
+  cache.AddHook(&hook);
+  PageId a = Alloc(&cache, 1);
+  PageId b = Alloc(&cache, 2);
+  PageId c = Alloc(&cache, 3);
+  // Re-touch a: recency order is now b < c < a.
+  EXPECT_EQ(ReadStamp(&cache, a), 1u);
+  hook.writes.clear();
+  Alloc(&cache, 4);  // evicts b
+  Alloc(&cache, 5);  // evicts c
+  Alloc(&cache, 6);  // evicts a
+  ASSERT_EQ(hook.writes.size(), 3u);
+  EXPECT_EQ(hook.writes[0], b);
+  EXPECT_EQ(hook.writes[1], c);
+  EXPECT_EQ(hook.writes[2], a);
+}
+
 TEST_F(BufferCacheTest, HitsAndMisses) {
   BufferCache cache(disk_.get(), 4);
   PageId a = Alloc(&cache, 1);

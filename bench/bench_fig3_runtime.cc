@@ -16,8 +16,20 @@
 // BENCH_commit_path.sync-seed.json).
 //
 //   ./bench_fig3_runtime --commit-path [txns]
+//
+// With --read-threads the binary runs the concurrent read-path sweep: the
+// TPC-C writer keeps committing on the main thread while K = 1, 2, 4
+// reader threads execute read-only OrderStatus/StockLevel over snapshot
+// handles. Aggregate read throughput per K lands in
+// BENCH_read_scaling.json (baseline: bench/baselines/
+// BENCH_read_scaling.seed.json).
+//
+//   ./bench_fig3_runtime --read-threads [window_ms]
 
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -217,9 +229,158 @@ int RunCommitPathSweep(uint64_t txns) {
   return 0;
 }
 
+struct ReadScalingResult {
+  uint32_t read_threads = 0;
+  uint64_t reads = 0;
+  double elapsed_seconds = 0;
+  double reads_per_sec = 0;
+  uint64_t writer_txns = 0;
+  uint64_t latch_waits = 0;
+};
+
+int RunReadScalingPoint(uint32_t readers, uint64_t window_ms,
+                        ReadScalingResult* out) {
+  tpcc::Scale scale;
+  scale.warehouses = 2;
+  // The Fig. 3 disk-resident regime: the database outgrows the cache, so
+  // most reads miss and pay the simulated 150 us storage round trip. The
+  // sharded cache is what lets K readers keep K of those round trips in
+  // flight at once — that overlap, not CPU parallelism, is the speedup
+  // being measured (CI machines may have a single core).
+  auto env = TpccEnv::Create(BenchDir("read_scaling"), Mode::kLogConsistent,
+                             /*cache_pages=*/160, scale, /*seed=*/1234,
+                             /*tsb=*/false, /*tsb_threshold=*/0.5,
+                             /*io_latency_micros=*/150);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+  if (!env.value().Warmup(200).ok()) return 1;
+
+  CompliantDB* db = env.value().db.get();
+  tpcc::Workload* workload = env.value().workload.get();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> total_reads{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (uint32_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      tpcc::TpccRandom rng(4321 + t);  // per-thread rng: Workload's is not
+                                       // thread-safe
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = db->BeginSnapshot();
+        if (!snap.ok()) {
+          failed.store(true);
+          break;
+        }
+        std::unique_ptr<SnapshotReader> reader(snap.value());
+        Status s = (local % 2 == 0) ? workload->OrderStatusRO(*reader, &rng)
+                                    : workload->StockLevelRO(*reader, &rng);
+        if (!s.ok()) {
+          std::fprintf(stderr, "reader %u failed: %s\n", t,
+                       s.ToString().c_str());
+          failed.store(true);
+          break;
+        }
+        ++local;
+      }
+      total_reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  // The single writer keeps the standard mix running underneath the
+  // readers for the whole window.
+  Timer timer;
+  uint64_t writer_txns = 0;
+  uint64_t per_txn = 5 * kMinute / 500;
+  tpcc::MixStats stats;
+  while (timer.Seconds() * 1000 < static_cast<double>(window_ms) &&
+         !failed.load(std::memory_order_relaxed)) {
+    Status s = workload->RunMix(1, &stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "writer failed: %s\n", s.ToString().c_str());
+      failed.store(true);
+      break;
+    }
+    env.value().clock->AdvanceMicros(per_txn);
+    ++writer_txns;
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  if (failed.load()) return 1;
+
+  out->read_threads = readers;
+  out->reads = total_reads.load();
+  out->elapsed_seconds = timer.Seconds();
+  out->reads_per_sec = out->reads / out->elapsed_seconds;
+  out->writer_txns = writer_txns;
+  auto snapshot = obs::MetricsRegistry::Global().TakeSnapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "storage.cache.latch_waits") out->latch_waits = value;
+  }
+  return 0;
+}
+
+int RunReadScalingSweep(uint64_t window_ms) {
+  std::printf("=== read scaling: K snapshot readers + 1 writer "
+              "(%llu ms window) ===\n",
+              static_cast<unsigned long long>(window_ms));
+  std::printf("%12s %10s %12s %14s %12s %12s\n", "read_threads", "reads",
+              "reads_per_s", "writer_txns", "latch_waits", "speedup");
+
+  std::vector<ReadScalingResult> sweep;
+  for (uint32_t k : {1u, 2u, 4u}) {
+    ReadScalingResult r;
+    if (RunReadScalingPoint(k, window_ms, &r) != 0) return 1;
+    double speedup =
+        sweep.empty() ? 1.0 : r.reads_per_sec / sweep.front().reads_per_sec;
+    std::printf("%12u %10llu %12.1f %14llu %12llu %11.2fx\n", r.read_threads,
+                static_cast<unsigned long long>(r.reads), r.reads_per_sec,
+                static_cast<unsigned long long>(r.writer_txns),
+                static_cast<unsigned long long>(r.latch_waits), speedup);
+    sweep.push_back(r);
+  }
+
+  double speedup_4v1 = sweep.back().reads_per_sec / sweep.front().reads_per_sec;
+  std::printf("aggregate read throughput at 4 threads: %.2fx of 1 thread\n",
+              speedup_4v1);
+
+  std::string json = "{\"bench\":\"read_scaling\",\"window_ms\":" +
+                     std::to_string(window_ms) +
+                     ",\"warehouses\":2,\"cache_pages\":160,"
+                     "\"io_latency_micros\":150,\"sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const ReadScalingResult& r = sweep[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"read_threads\":%u,\"reads\":%llu,"
+                  "\"reads_per_sec\":%.1f,\"writer_txns\":%llu,"
+                  "\"latch_waits\":%llu}",
+                  i == 0 ? "" : ",", r.read_threads,
+                  static_cast<unsigned long long>(r.reads), r.reads_per_sec,
+                  static_cast<unsigned long long>(r.writer_txns),
+                  static_cast<unsigned long long>(r.latch_waits));
+    json += buf;
+  }
+  json += "],\"speedup_4v1\":" + std::to_string(speedup_4v1) + "}\n";
+  std::FILE* f = std::fopen("BENCH_read_scaling.json", "w");
+  if (f == nullptr) return 1;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics artifact: BENCH_read_scaling.json\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--read-threads") == 0) {
+    return RunReadScalingSweep(ArgOr(argc, argv, 2, 1500));
+  }
   if (argc > 1 && std::strcmp(argv[1], "--commit-path") == 0) {
     // 2000 NewOrders grow the database past the 192-page cache, the
     // disk-resident regime where lazy-timestamping reads miss and the

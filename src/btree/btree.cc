@@ -136,20 +136,28 @@ Status Btree::EmitPageImage(const Page& page, Page* mutable_page) {
   return Status::OK();
 }
 
+// Read descent with latch crabbing: the child's shared latch is acquired
+// while the parent's is still held, so a concurrent split of the child
+// cannot slip between reading the separator and reaching the page it
+// names. Readers only ever latch top-down (and left-to-right across
+// siblings); the writer never blocks on a reader-visible latch while
+// holding one readers can reach — together that makes the latch graph
+// acyclic.
 Status Btree::DescendToLeaf(Slice key, uint64_t start,
                             std::vector<PageId>* path) const {
   path->clear();
   PageId pgno = root_;
+  Page* page = nullptr;
+  CDB_RETURN_IF_ERROR(
+      env_.cache->FetchPage(pgno, &page, PageLatchMode::kShared));
+  path->push_back(pgno);
   for (int depth = 0; depth < 64; ++depth) {
-    path->push_back(pgno);
-    Page* page = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &page));
     if (page->type() == PageType::kBtreeLeaf) {
-      env_.cache->Unpin(pgno, false);
+      env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
       return Status::OK();
     }
     if (page->type() != PageType::kBtreeInternal || page->slot_count() == 0) {
-      env_.cache->Unpin(pgno, false);
+      env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
       return Status::Corruption("descent hit malformed page");
     }
     uint16_t idx = InternalFindChild(*page, key, start);
@@ -157,10 +165,20 @@ Status Btree::DescendToLeaf(Slice key, uint64_t start,
     uint64_t s;
     PageId child;
     Status st = DecodeIndexEntryKey(page->RecordAt(idx), &k, &s, &child);
-    env_.cache->Unpin(pgno, false);
-    CDB_RETURN_IF_ERROR(st);
+    if (!st.ok()) {
+      env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+      return st;
+    }
+    Page* child_page = nullptr;
+    Status fetch =
+        env_.cache->FetchPage(child, &child_page, PageLatchMode::kShared);
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+    CDB_RETURN_IF_ERROR(fetch);
     pgno = child;
+    page = child_page;
+    path->push_back(pgno);
   }
+  env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
   return Status::Corruption("tree too deep (cycle?)");
 }
 
@@ -176,7 +194,8 @@ Status Btree::InsertVersion(TxnWalContext* txn, const TupleData& tuple,
     CDB_RETURN_IF_ERROR(DescendToLeaf(tuple.key, tuple.start, &path));
     PageId leaf_pgno = path.back();
     Page* leaf = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(leaf_pgno, &leaf));
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(leaf_pgno, &leaf, PageLatchMode::kExclusive));
 
     uint16_t pos = LeafLowerBound(*leaf, tuple.key, tuple.start);
     if (pos < leaf->slot_count()) {
@@ -184,13 +203,13 @@ Status Btree::InsertVersion(TxnWalContext* txn, const TupleData& tuple,
       uint64_t s;
       Status st = DecodeTupleKey(leaf->RecordAt(pos), &k, &s);
       if (st.ok() && CompareVersion(k, s, tuple.key, tuple.start) == 0) {
-        env_.cache->Unpin(leaf_pgno, false);
+        env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
         return Status::InvalidArgument("duplicate (key, start) version");
       }
     }
 
     if (leaf->FreeSpace() < probe.size()) {
-      env_.cache->Unpin(leaf_pgno, false);
+      env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
       CDB_RETURN_IF_ERROR(HandleLeafOverflow(path));
       continue;
     }
@@ -200,7 +219,7 @@ Status Btree::InsertVersion(TxnWalContext* txn, const TupleData& tuple,
     std::string rec = EncodeTuple(placed);
     Status st = leaf->InsertRecord(pos, rec);
     if (!st.ok()) {
-      env_.cache->Unpin(leaf_pgno, false);
+      env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
       return st;
     }
     if (txn != nullptr && txn->log != nullptr) {
@@ -211,7 +230,7 @@ Status Btree::InsertVersion(TxnWalContext* txn, const TupleData& tuple,
       wal.tuple = rec;
       leaf->set_lsn(txn->Emit(&wal));
     }
-    env_.cache->Unpin(leaf_pgno, true);
+    env_.cache->Unpin(leaf_pgno, true, PageLatchMode::kExclusive);
     if (pgno_out != nullptr) *pgno_out = leaf_pgno;
     if (order_no_out != nullptr) *order_no_out = placed.order_no;
     return Status::OK();
@@ -224,9 +243,10 @@ Status Btree::HandleLeafOverflow(const std::vector<PageId>& path) {
   SplitKind kind = SplitKind::kKeySplit;
   if (env_.split_policy != nullptr && env_.migration != nullptr) {
     Page* leaf = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(leaf_pgno, &leaf));
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(leaf_pgno, &leaf, PageLatchMode::kShared));
     kind = env_.split_policy->Decide(*leaf);
-    env_.cache->Unpin(leaf_pgno, false);
+    env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kShared);
   }
   if (kind == SplitKind::kTimeSplit) {
     size_t freed = 0;
@@ -241,8 +261,9 @@ Status Btree::HandleLeafOverflow(const std::vector<PageId>& path) {
 Status Btree::KeySplit(const std::vector<PageId>& path, size_t depth) {
   PageId x_pgno = path[depth];
   Page* x = nullptr;
-  CDB_RETURN_IF_ERROR(env_.cache->FetchPage(x_pgno, &x));
-  PageGuard x_guard(env_.cache, x_pgno, x);
+  CDB_RETURN_IF_ERROR(
+      env_.cache->FetchPage(x_pgno, &x, PageLatchMode::kExclusive));
+  PageGuard x_guard(env_.cache, x_pgno, x, PageLatchMode::kExclusive);
   Page pre = *x;
 
   uint16_t count = x->slot_count();
@@ -252,10 +273,10 @@ Status Btree::KeySplit(const std::vector<PageId>& path, size_t depth) {
   if (s == 0) s = 1;
 
   Page* n = nullptr;
-  Result<PageId> alloc = env_.cache->NewPage(&n);
+  Result<PageId> alloc = env_.cache->NewPage(&n, PageLatchMode::kExclusive);
   if (!alloc.ok()) return alloc.status();
   PageId n_pgno = alloc.value();
-  PageGuard n_guard(env_.cache, n_pgno, n);
+  PageGuard n_guard(env_.cache, n_pgno, n, PageLatchMode::kExclusive);
   n->Format(n_pgno, x->type(), tree_id_, x->level());
 
   std::vector<std::string> records = x->AllRecords();
@@ -309,28 +330,34 @@ Status Btree::KeySplit(const std::vector<PageId>& path, size_t depth) {
 Status Btree::InsertSeparator(size_t target_level, const IndexEntry& sep) {
   std::string rec = EncodeIndexEntry(sep);
   for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    // Descend from the root to the internal node at target_level.
+    // Descend from the root to the internal node at target_level. The
+    // descent reads under shared latches; the target is then re-fetched
+    // exclusive (only this writer mutates structure, so nothing can
+    // change in the unlatched window between the two fetches).
     PageId pgno = root_;
-    std::vector<PageId> descent;
     Page* page = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &page));
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(pgno, &page, PageLatchMode::kShared));
     while (page->level() > target_level) {
-      descent.push_back(pgno);
       uint16_t idx = InternalFindChild(*page, sep.key, sep.start);
       Slice k;
       uint64_t s;
       PageId child;
       Status st = DecodeIndexEntryKey(page->RecordAt(idx), &k, &s, &child);
-      env_.cache->Unpin(pgno, false);
+      env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
       CDB_RETURN_IF_ERROR(st);
       pgno = child;
-      CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &page));
+      CDB_RETURN_IF_ERROR(
+          env_.cache->FetchPage(pgno, &page, PageLatchMode::kShared));
     }
     if (page->level() != target_level ||
         page->type() != PageType::kBtreeInternal) {
-      env_.cache->Unpin(pgno, false);
+      env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
       return Status::Corruption("separator descent reached wrong level");
     }
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(pgno, &page, PageLatchMode::kExclusive));
 
     if (page->FreeSpace() >= rec.size()) {
       // Insert position: after the last entry <= sep.
@@ -347,7 +374,7 @@ Status Btree::InsertSeparator(size_t target_level, const IndexEntry& sep) {
       }
       Status st = page->InsertRecord(pos, rec);
       if (!st.ok()) {
-        env_.cache->Unpin(pgno, false);
+        env_.cache->Unpin(pgno, false, PageLatchMode::kExclusive);
         return st;
       }
       if (env_.wal != nullptr) {
@@ -359,12 +386,12 @@ Status Btree::InsertSeparator(size_t target_level, const IndexEntry& sep) {
         wal.tuple = rec;
         page->set_lsn(env_.wal->Append(&wal));
       }
-      env_.cache->Unpin(pgno, true);
+      env_.cache->Unpin(pgno, true, PageLatchMode::kExclusive);
       return Status::OK();
     }
 
     // Overflowing internal node: grow the root or split and retry.
-    env_.cache->Unpin(pgno, false);
+    env_.cache->Unpin(pgno, false, PageLatchMode::kExclusive);
     if (pgno == root_) {
       CDB_RETURN_IF_ERROR(RootGrow());
       continue;
@@ -381,8 +408,9 @@ Status Btree::SplitInternal(PageId pgno) {
 
 Status Btree::RootGrow() {
   Page* r = nullptr;
-  CDB_RETURN_IF_ERROR(env_.cache->FetchPage(root_, &r));
-  PageGuard r_guard(env_.cache, root_, r);
+  CDB_RETURN_IF_ERROR(
+      env_.cache->FetchPage(root_, &r, PageLatchMode::kExclusive));
+  PageGuard r_guard(env_.cache, root_, r, PageLatchMode::kExclusive);
   Page pre = *r;
 
   uint16_t count = r->slot_count();
@@ -394,14 +422,14 @@ Status Btree::RootGrow() {
 
   Page* a = nullptr;
   Page* b = nullptr;
-  Result<PageId> alloc_a = env_.cache->NewPage(&a);
+  Result<PageId> alloc_a = env_.cache->NewPage(&a, PageLatchMode::kExclusive);
   if (!alloc_a.ok()) return alloc_a.status();
   PageId a_pgno = alloc_a.value();
-  PageGuard a_guard(env_.cache, a_pgno, a);
-  Result<PageId> alloc_b = env_.cache->NewPage(&b);
+  PageGuard a_guard(env_.cache, a_pgno, a, PageLatchMode::kExclusive);
+  Result<PageId> alloc_b = env_.cache->NewPage(&b, PageLatchMode::kExclusive);
   if (!alloc_b.ok()) return alloc_b.status();
   PageId b_pgno = alloc_b.value();
-  PageGuard b_guard(env_.cache, b_pgno, b);
+  PageGuard b_guard(env_.cache, b_pgno, b, PageLatchMode::kExclusive);
 
   a->Format(a_pgno, r->type(), tree_id_, r->level());
   b->Format(b_pgno, r->type(), tree_id_, r->level());
@@ -452,8 +480,9 @@ Status Btree::TimeSplitLeaf(PageId leaf_pgno, size_t* freed) {
   *freed = 0;
   if (env_.migration == nullptr) return Status::OK();
   Page* x = nullptr;
-  CDB_RETURN_IF_ERROR(env_.cache->FetchPage(leaf_pgno, &x));
-  PageGuard x_guard(env_.cache, leaf_pgno, x);
+  CDB_RETURN_IF_ERROR(
+      env_.cache->FetchPage(leaf_pgno, &x, PageLatchMode::kExclusive));
+  PageGuard x_guard(env_.cache, leaf_pgno, x, PageLatchMode::kExclusive);
   Page pre = *x;
 
   uint16_t count = x->slot_count();
@@ -512,7 +541,8 @@ Status Btree::RemoveVersion(TxnWalContext* txn, Slice key, uint64_t start,
   CDB_RETURN_IF_ERROR(DescendToLeaf(key, start, &path));
   PageId leaf_pgno = path.back();
   Page* leaf = nullptr;
-  CDB_RETURN_IF_ERROR(env_.cache->FetchPage(leaf_pgno, &leaf));
+  CDB_RETURN_IF_ERROR(
+      env_.cache->FetchPage(leaf_pgno, &leaf, PageLatchMode::kExclusive));
 
   uint16_t pos = LeafLowerBound(*leaf, key, start);
   Slice k;
@@ -520,13 +550,13 @@ Status Btree::RemoveVersion(TxnWalContext* txn, Slice key, uint64_t start,
   if (pos >= leaf->slot_count() ||
       !DecodeTupleKey(leaf->RecordAt(pos), &k, &s).ok() ||
       CompareVersion(k, s, key, start) != 0) {
-    env_.cache->Unpin(leaf_pgno, false);
+    env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
     return Status::NotFound("version to remove not found");
   }
   std::string removed(leaf->RecordAt(pos).data(), leaf->RecordAt(pos).size());
   Status st = leaf->EraseRecord(pos);
   if (!st.ok()) {
-    env_.cache->Unpin(leaf_pgno, false);
+    env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
     return st;
   }
   if (txn != nullptr && txn->log != nullptr) {
@@ -538,7 +568,7 @@ Status Btree::RemoveVersion(TxnWalContext* txn, Slice key, uint64_t start,
     wal.undo_next = undo_next;
     leaf->set_lsn(txn->Emit(&wal));
   }
-  env_.cache->Unpin(leaf_pgno, true);
+  env_.cache->Unpin(leaf_pgno, true, PageLatchMode::kExclusive);
   return Status::OK();
 }
 
@@ -551,7 +581,8 @@ Status Btree::ReinsertRecord(TxnWalContext* txn, Slice record, Lsn undo_next) {
     CDB_RETURN_IF_ERROR(DescendToLeaf(key, start, &path));
     PageId leaf_pgno = path.back();
     Page* leaf = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(leaf_pgno, &leaf));
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(leaf_pgno, &leaf, PageLatchMode::kExclusive));
 
     uint16_t pos = LeafLowerBound(*leaf, key, start);
     if (pos < leaf->slot_count()) {
@@ -559,18 +590,18 @@ Status Btree::ReinsertRecord(TxnWalContext* txn, Slice record, Lsn undo_next) {
       uint64_t s;
       Status st = DecodeTupleKey(leaf->RecordAt(pos), &k, &s);
       if (st.ok() && CompareVersion(k, s, key, start) == 0) {
-        env_.cache->Unpin(leaf_pgno, false);
+        env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
         return Status::OK();  // already re-inserted (idempotent undo)
       }
     }
     if (leaf->FreeSpace() < record.size()) {
-      env_.cache->Unpin(leaf_pgno, false);
+      env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
       CDB_RETURN_IF_ERROR(HandleLeafOverflow(path));
       continue;
     }
     Status st = leaf->InsertRecord(pos, record);
     if (!st.ok()) {
-      env_.cache->Unpin(leaf_pgno, false);
+      env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
       return st;
     }
     if (txn != nullptr && txn->log != nullptr) {
@@ -582,7 +613,7 @@ Status Btree::ReinsertRecord(TxnWalContext* txn, Slice record, Lsn undo_next) {
       wal.undo_next = undo_next;
       leaf->set_lsn(txn->Emit(&wal));
     }
-    env_.cache->Unpin(leaf_pgno, true);
+    env_.cache->Unpin(leaf_pgno, true, PageLatchMode::kExclusive);
     return Status::OK();
   }
   return Status::Corruption("reinsert did not converge");
@@ -594,18 +625,19 @@ Status Btree::StampVersion(TxnWalContext* txn, Slice key, uint64_t txn_start,
   CDB_RETURN_IF_ERROR(DescendToLeaf(key, txn_start, &path));
   PageId leaf_pgno = path.back();
   Page* leaf = nullptr;
-  CDB_RETURN_IF_ERROR(env_.cache->FetchPage(leaf_pgno, &leaf));
+  CDB_RETURN_IF_ERROR(
+      env_.cache->FetchPage(leaf_pgno, &leaf, PageLatchMode::kExclusive));
 
   uint16_t pos = LeafLowerBound(*leaf, key, txn_start);
   TupleData t;
   if (pos >= leaf->slot_count() ||
       !DecodeTuple(leaf->RecordAt(pos), &t).ok() || t.key != key.ToString() ||
       t.start != txn_start) {
-    env_.cache->Unpin(leaf_pgno, false);
+    env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
     return Status::NotFound("version to stamp not found");
   }
   if (t.stamped) {
-    env_.cache->Unpin(leaf_pgno, false);
+    env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
     return Status::OK();  // idempotent (recovery re-stamps)
   }
   uint16_t order_no = t.order_no;
@@ -613,7 +645,7 @@ Status Btree::StampVersion(TxnWalContext* txn, Slice key, uint64_t txn_start,
   t.stamped = true;
   Status st = leaf->ReplaceRecord(pos, EncodeTuple(t));
   if (!st.ok()) {
-    env_.cache->Unpin(leaf_pgno, false);
+    env_.cache->Unpin(leaf_pgno, false, PageLatchMode::kExclusive);
     return st;
   }
   if (txn != nullptr && txn->log != nullptr) {
@@ -627,7 +659,7 @@ Status Btree::StampVersion(TxnWalContext* txn, Slice key, uint64_t txn_start,
     wal.undo_next = txn_start;
     leaf->set_lsn(txn->Emit(&wal));
   }
-  env_.cache->Unpin(leaf_pgno, true);
+  env_.cache->Unpin(leaf_pgno, true, PageLatchMode::kExclusive);
   return Status::OK();
 }
 
@@ -643,15 +675,32 @@ Status Btree::GetLatest(Slice key, TupleData* out) {
 
 Status Btree::GetVersions(Slice key, std::vector<TupleData>* out) {
   out->clear();
-  std::vector<PageId> path;
-  CDB_RETURN_IF_ERROR(DescendToLeaf(key, 0, &path));
-  PageId pgno = path.back();
+  // Between DescendToLeaf dropping its latches and the refetch below, a
+  // concurrent RootGrow can reformat the root — the only page whose type
+  // ever changes — into an internal node; re-descend when that happens.
+  // Sibling pointers never lead back to the root, so only the first leaf
+  // needs the check.
+  PageId pgno = kInvalidPage;
+  Page* first = nullptr;
+  for (;;) {
+    std::vector<PageId> path;
+    CDB_RETURN_IF_ERROR(DescendToLeaf(key, 0, &path));
+    pgno = path.back();
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(pgno, &first, PageLatchMode::kShared));
+    if (first->type() == PageType::kBtreeLeaf) break;
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+  }
   // Versions of a key can spill across leaves; follow siblings until a
   // larger key is seen (keys are globally sorted across the leaf chain).
   bool saw_larger_key = false;
   while (pgno != kInvalidPage && !saw_larger_key) {
-    Page* leaf = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &leaf));
+    Page* leaf = first;
+    if (leaf == nullptr) {
+      CDB_RETURN_IF_ERROR(
+          env_.cache->FetchPage(pgno, &leaf, PageLatchMode::kShared));
+    }
+    first = nullptr;
     uint16_t count = leaf->slot_count();
     std::vector<std::string> records;
     for (uint16_t i = LeafLowerBound(*leaf, key, 0); i < count; ++i) {
@@ -659,7 +708,7 @@ Status Btree::GetVersions(Slice key, std::vector<TupleData>* out) {
       uint64_t s;
       Status st = DecodeTupleKey(leaf->RecordAt(i), &k, &s);
       if (!st.ok()) {
-        env_.cache->Unpin(pgno, false);
+        env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
         return st;
       }
       if (k != key) {
@@ -669,7 +718,7 @@ Status Btree::GetVersions(Slice key, std::vector<TupleData>* out) {
       records.emplace_back(leaf->RecordAt(i).data(), leaf->RecordAt(i).size());
     }
     PageId next = leaf->right_sibling();
-    env_.cache->Unpin(pgno, false);
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
     for (const auto& r : records) {
       TupleData t;
       CDB_RETURN_IF_ERROR(DecodeTuple(r, &t));
@@ -685,35 +734,50 @@ Status Btree::GetVersions(Slice key, std::vector<TupleData>* out) {
 
 Status Btree::ScanAll(
     const std::function<Status(PageId, const TupleData&)>& fn) {
-  // Find the leftmost leaf.
-  PageId pgno = root_;
-  for (int depth = 0; depth < 64; ++depth) {
-    Page* page = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &page));
-    if (page->type() == PageType::kBtreeLeaf) {
-      env_.cache->Unpin(pgno, false);
-      break;
+  // Find the leftmost leaf, restarting if a concurrent RootGrow turns the
+  // root into an internal node between the descent and the first fetch of
+  // the sibling walk (see GetVersions).
+  PageId pgno = kInvalidPage;
+  Page* first = nullptr;
+  for (;;) {
+    pgno = root_;
+    for (int depth = 0; depth < 64; ++depth) {
+      Page* page = nullptr;
+      CDB_RETURN_IF_ERROR(
+          env_.cache->FetchPage(pgno, &page, PageLatchMode::kShared));
+      if (page->type() == PageType::kBtreeLeaf) {
+        env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+        break;
+      }
+      if (page->slot_count() == 0) {
+        env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+        return Status::Corruption("empty internal page");
+      }
+      Slice k;
+      uint64_t s;
+      PageId child;
+      Status st = DecodeIndexEntryKey(page->RecordAt(0), &k, &s, &child);
+      env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+      CDB_RETURN_IF_ERROR(st);
+      pgno = child;
     }
-    if (page->slot_count() == 0) {
-      env_.cache->Unpin(pgno, false);
-      return Status::Corruption("empty internal page");
-    }
-    Slice k;
-    uint64_t s;
-    PageId child;
-    Status st = DecodeIndexEntryKey(page->RecordAt(0), &k, &s, &child);
-    env_.cache->Unpin(pgno, false);
-    CDB_RETURN_IF_ERROR(st);
-    pgno = child;
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(pgno, &first, PageLatchMode::kShared));
+    if (first->type() == PageType::kBtreeLeaf) break;
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
   }
   // Walk the sibling chain.
   while (pgno != kInvalidPage) {
-    Page* leaf = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &leaf));
+    Page* leaf = first;
+    if (leaf == nullptr) {
+      CDB_RETURN_IF_ERROR(
+          env_.cache->FetchPage(pgno, &leaf, PageLatchMode::kShared));
+    }
+    first = nullptr;
     std::vector<std::string> records = leaf->AllRecords();
     PageId next = leaf->right_sibling();
     PageId this_pgno = pgno;
-    env_.cache->Unpin(pgno, false);
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
     for (const auto& r : records) {
       TupleData t;
       CDB_RETURN_IF_ERROR(DecodeTuple(r, &t));
@@ -727,14 +791,28 @@ Status Btree::ScanAll(
 Status Btree::ScanVersionsInRange(
     Slice begin, Slice end,
     const std::function<Status(const TupleData&)>& fn) {
-  std::vector<PageId> path;
-  CDB_RETURN_IF_ERROR(DescendToLeaf(begin, 0, &path));
-  PageId pgno = path.back();
+  // Same RootGrow race as GetVersions: re-descend if the page the descent
+  // landed on was reformatted into an internal node in the meantime.
+  PageId pgno = kInvalidPage;
+  Page* first = nullptr;
+  for (;;) {
+    std::vector<PageId> path;
+    CDB_RETURN_IF_ERROR(DescendToLeaf(begin, 0, &path));
+    pgno = path.back();
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(pgno, &first, PageLatchMode::kShared));
+    if (first->type() == PageType::kBtreeLeaf) break;
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
+  }
   std::string end_key = end.ToString();
   bool stopped = false;
   while (pgno != kInvalidPage && !stopped) {
-    Page* leaf = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &leaf));
+    Page* leaf = first;
+    if (leaf == nullptr) {
+      CDB_RETURN_IF_ERROR(
+          env_.cache->FetchPage(pgno, &leaf, PageLatchMode::kShared));
+    }
+    first = nullptr;
     std::vector<std::string> records;
     uint16_t count = leaf->slot_count();
     for (uint16_t i = begin.empty() ? 0 : LeafLowerBound(*leaf, begin, 0);
@@ -743,7 +821,7 @@ Status Btree::ScanVersionsInRange(
       records.emplace_back(rec.data(), rec.size());
     }
     PageId next = leaf->right_sibling();
-    env_.cache->Unpin(pgno, false);
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
     for (const auto& r : records) {
       TupleData t;
       CDB_RETURN_IF_ERROR(DecodeTuple(r, &t));
@@ -808,7 +886,8 @@ Result<Btree::PageStats> Btree::CountPages() {
     PageId pgno = frontier.back();
     frontier.pop_back();
     Page* page = nullptr;
-    CDB_RETURN_IF_ERROR(env_.cache->FetchPage(pgno, &page));
+    CDB_RETURN_IF_ERROR(
+        env_.cache->FetchPage(pgno, &page, PageLatchMode::kShared));
     if (page->type() == PageType::kBtreeLeaf) {
       ++stats.leaf_pages;
     } else {
@@ -819,13 +898,13 @@ Result<Btree::PageStats> Btree::CountPages() {
         PageId child;
         Status st = DecodeIndexEntryKey(page->RecordAt(i), &k, &s, &child);
         if (!st.ok()) {
-          env_.cache->Unpin(pgno, false);
+          env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
           return st;
         }
         frontier.push_back(child);
       }
     }
-    env_.cache->Unpin(pgno, false);
+    env_.cache->Unpin(pgno, false, PageLatchMode::kShared);
   }
   return stats;
 }

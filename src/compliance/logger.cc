@@ -45,11 +45,13 @@ Status ComplianceLogger::MaybeSyncFlush() {
 }
 
 Status ComplianceLogger::FlushLog() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled || log_ == nullptr) return Status::OK();
   return log_->Flush();
 }
 
 Status ComplianceLogger::StartFreshEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   log_ = std::make_unique<ComplianceLog>(worm_, epoch, LogOptions());
   CDB_RETURN_IF_ERROR(log_->Create());
@@ -69,6 +71,7 @@ Status ComplianceLogger::StartFreshEpoch(uint64_t epoch) {
 
 Status ComplianceLogger::AttachToEpoch(uint64_t epoch,
                                        const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   log_ = std::make_unique<ComplianceLog>(worm_, epoch, LogOptions());
   CDB_RETURN_IF_ERROR(log_->OpenExisting());
@@ -325,6 +328,7 @@ Status ComplianceLogger::EmitDiff(uint32_t tree_id, PageId pgno,
 }
 
 Status ComplianceLogger::OnPageRead(PageId pgno, const Page& image) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   if (!image.IsFormatted()) return Status::OK();
   if (image.type() == PageType::kBtreeInternal) {
@@ -379,6 +383,7 @@ Status ComplianceLogger::OnPageRead(PageId pgno, const Page& image) {
 }
 
 Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   if (!image.IsFormatted()) return Status::OK();
   // The pwrite may not proceed until every record of its diff is durable
@@ -418,6 +423,7 @@ Status ComplianceLogger::OnPageWrite(PageId pgno, const Page& image) {
 // until every compliance record describing the page is durable on WORM.
 // In sync mode OnPageWrite already flushed, so this is a no-op.
 Status ComplianceLogger::OnPageWriteBarrier(PageId pgno) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled || log_ == nullptr) return Status::OK();
   if (!options_.async_shipping) return Status::OK();
   auto it = page_high_water_.find(pgno);
@@ -432,6 +438,7 @@ Status ComplianceLogger::OnPageSplit(uint32_t tree_id, uint8_t level,
                                      PageId old_pgno, PageId new_pgno,
                                      const Page& pre_old, const Page& post_old,
                                      const Page& post_new) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   if (level > 0) return Status::OK();  // index pages: verified at audit
 
@@ -472,6 +479,7 @@ Status ComplianceLogger::OnRootGrow(uint32_t tree_id, PageId root_pgno,
                                     const Page& post_root,
                                     const Page& post_left,
                                     const Page& post_right) {
+  std::lock_guard<std::mutex> lock(mu_);
   (void)post_root;
   if (!options_.enabled) return Status::OK();
   if (pre_root.type() != PageType::kBtreeLeaf) return Status::OK();
@@ -508,6 +516,7 @@ Status ComplianceLogger::OnMigrate(uint32_t tree_id, PageId live_pgno,
                                    const Page& pre_live, const Page& post_live,
                                    const std::string& hist_name,
                                    const Page& hist_image) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
 
   Result<PageState> base = BaselineFor(live_pgno);
@@ -538,6 +547,7 @@ Status ComplianceLogger::OnMigrate(uint32_t tree_id, PageId live_pgno,
 }
 
 Status ComplianceLogger::OnCommit(TxnId txn_id, uint64_t commit_time) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   auto it = stamps_on_log_.find(txn_id);
   if (it != stamps_on_log_.end() && it->second == commit_time) {
@@ -559,6 +569,7 @@ Status ComplianceLogger::OnCommit(TxnId txn_id, uint64_t commit_time) {
 }
 
 Status ComplianceLogger::OnAbort(TxnId txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   if (!aborts_on_log_.insert(txn_id).second) {
     return Status::OK();  // already announced
@@ -572,6 +583,7 @@ Status ComplianceLogger::OnAbort(TxnId txn_id) {
 }
 
 Status ComplianceLogger::OnStartRecovery() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   CRecord rec;
   rec.type = CRecordType::kStartRecovery;
@@ -582,6 +594,7 @@ Status ComplianceLogger::OnStartRecovery() {
 }
 
 Status ComplianceLogger::OnRecoveryComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   in_recovery_ = false;
   // Recovery completion shows liveness again.
@@ -591,6 +604,7 @@ Status ComplianceLogger::OnRecoveryComplete() {
 
 Status ComplianceLogger::OnNewTree(uint32_t tree_id, PageId root,
                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   CRecord rec;
   rec.type = CRecordType::kNewTree;
@@ -608,6 +622,7 @@ Status ComplianceLogger::OnShredIntent(uint32_t tree_id, Slice key,
                                        uint64_t start, PageId pgno,
                                        Slice content_hash, uint64_t timestamp,
                                        const std::string& hist_name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   CRecord rec;
   rec.type = CRecordType::kShredded;
@@ -624,6 +639,7 @@ Status ComplianceLogger::OnShredIntent(uint32_t tree_id, Slice key,
 }
 
 Status ComplianceLogger::Tick(uint64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();
   if (now - last_stamp_activity_ >= options_.regret_interval_micros) {
     CRecord rec;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -68,6 +69,11 @@ struct ComplianceOptions {
 /// commit/abort/recovery notifications (CommitObserver). Every record it
 /// appends is durable on WORM before the triggering operation proceeds,
 /// which is what makes the log authoritative at audit.
+///
+/// Thread-safe: one internal mutex serializes every public entry point,
+/// so the record order on L stays a single total order even when hooks
+/// fire from reader threads (cache-miss READ_HASH, dirty-page eviction).
+/// Lock order: buffer-cache shard mutex -> WAL mutex -> this mutex.
 class ComplianceLogger : public IoHook,
                          public StructureObserver,
                          public CommitObserver {
@@ -166,6 +172,9 @@ class ComplianceLogger : public IoHook,
   /// Async mode: no-op — durability is deferred to the barriers.
   Status MaybeSyncFlush();
 
+  /// Serializes all public entry points (none call each other; the
+  /// private helpers run with it held).
+  mutable std::mutex mu_;
   ComplianceOptions options_;
   WormStore* worm_;
   DiskManager* disk_;

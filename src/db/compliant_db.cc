@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "btree/integrity.h"
+#include "db/snapshot_reader.h"
 #include "common/coding.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,7 +82,18 @@ Status CompliantDB::Init() {
   if (!wal.ok()) return wal.status();
   wal_.reset(wal.value());
 
-  cache_ = std::make_unique<BufferCache>(disk_.get(), options_.cache_pages);
+  size_t shards = options_.cache_shards;
+  if (shards == 0) {
+    // Auto-sharding: enough shards that concurrent snapshot readers'
+    // misses overlap their (simulated) I/O, few enough that each shard
+    // still holds a useful LRU (>= ~8 frames per shard).
+    size_t limit = std::min<size_t>(
+        16, std::max<size_t>(1, options_.cache_pages / 8));
+    shards = 1;
+    while (shards * 2 <= limit) shards *= 2;
+  }
+  cache_ = std::make_unique<BufferCache>(disk_.get(), options_.cache_pages,
+                                         shards);
 
   bool fresh = disk_->PageCount() == 0;
   bool crashed = !fresh && !fs::exists(CleanMarkerPath(options_.dir));
@@ -628,6 +640,13 @@ Status CompliantDB::ScanCurrent(
   return t->ScanRangeCurrent(begin, end, fn);
 }
 
+// --- snapshot reads --------------------------------------------------
+
+Result<SnapshotReader*> CompliantDB::BeginSnapshot() {
+  return new SnapshotReader(txns_.get(), hist_.get(),
+                            txns_->last_commit_time(), &open_snapshots_);
+}
+
 // --- retention & shredding -------------------------------------------
 
 Status CompliantDB::SetRetention(uint32_t table, uint64_t retention_micros) {
@@ -816,6 +835,9 @@ Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
   }
   if (txns_->HasActiveTxn()) {
     return Status::Busy("audit requires a quiescent database");
+  }
+  if (open_snapshots_.load(std::memory_order_acquire) > 0) {
+    return Status::Busy("audit requires a quiescent database (snapshots open)");
   }
   // Quiesce: lazy updates reach disk, everything flushed.
   CDB_RETURN_IF_ERROR(FlushAll());

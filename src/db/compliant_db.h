@@ -1,6 +1,7 @@
 #ifndef COMPLYDB_DB_COMPLIANT_DB_H_
 #define COMPLYDB_DB_COMPLIANT_DB_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,6 +25,8 @@
 
 namespace complydb {
 
+class SnapshotReader;
+
 /// Top-level configuration.
 struct DbOptions {
   /// Directory holding the database file, transaction log, and the WORM
@@ -33,6 +36,13 @@ struct DbOptions {
   /// Buffer cache capacity in 4 KB pages (the paper's 256 MB / 512 MB /
   /// 32 MB knobs, scaled).
   size_t cache_pages = 256;
+
+  /// Buffer-cache shard count (rounded down to a power of two). Each shard
+  /// has its own hash table, free list, LRU, and mutex, so concurrent
+  /// snapshot readers miss-and-load in parallel. 0 = auto: the largest
+  /// power of two <= min(16, cache_pages / 8), at least 1. 1 reproduces
+  /// the single-threaded cache's exact global LRU order.
+  size_t cache_shards = 0;
 
   /// Compliance machinery (§IV–§V). compliance.enabled=false gives the
   /// "native Berkeley DB" baseline of Fig. 3.
@@ -143,6 +153,17 @@ class CompliantDB {
   /// Latest value per key over [begin, end) (end empty = unbounded).
   Status ScanCurrent(uint32_t table, Slice begin, Slice end,
                      const std::function<Status(const TupleData&)>& fn);
+
+  // --- snapshot reads ---
+  /// Opens a read handle pinned at the last commit time. Its Get/GetAsOf/
+  /// ScanCurrent run concurrently with the single writer from any thread
+  /// (committed versions are immutable in a transaction-time store, so no
+  /// read locks are taken — see DESIGN.md, "Concurrency model"). Delete
+  /// the handle to release it; Audit() reports Busy while any are open.
+  Result<SnapshotReader*> BeginSnapshot();
+  int open_snapshots() const {
+    return open_snapshots_.load(std::memory_order_acquire);
+  }
 
   // --- retention & shredding (§VIII) ---
   Status SetRetention(uint32_t table, uint64_t retention_micros);
@@ -270,6 +291,7 @@ class CompliantDB {
   RecoveryReport recovery_report_;
   bool recovered_from_crash_ = false;
   bool closed_ = false;
+  std::atomic<int> open_snapshots_{0};
 };
 
 }  // namespace complydb

@@ -1,0 +1,72 @@
+#ifndef COMPLYDB_DB_SNAPSHOT_READER_H_
+#define COMPLYDB_DB_SNAPSHOT_READER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "btree/tuple.h"
+#include "common/status.h"
+#include "tsb/tsb_policy.h"
+#include "txn/transaction_manager.h"
+
+namespace complydb {
+
+/// A read-only view of the database pinned at a commit timestamp.
+///
+/// In a transaction-time store, committed versions are immutable: the
+/// writer only appends new versions, upgrades lazy stamps, or migrates
+/// superseded versions to WORM — it never changes what was visible at any
+/// past commit time. A reader pinned at the last commit time therefore
+/// needs no 2PL: page latches (crabbed shared descents in the btree) give
+/// physical consistency, and version visibility at the pinned time gives
+/// logical consistency. Versions from the writer's in-flight transaction
+/// are unstamped with a start id that resolves to no committed txn at or
+/// below the snapshot, so they are naturally invisible.
+///
+/// Handles are created by CompliantDB::BeginSnapshot() and freed with
+/// `delete`; every method is safe to call from any thread, and multiple
+/// handles on multiple threads run concurrently with the single writer.
+class SnapshotReader {
+ public:
+  ~SnapshotReader();
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// The commit time this view is pinned at.
+  uint64_t snapshot_time() const { return snap_; }
+
+  /// Latest value of `key` visible at the snapshot time.
+  Status Get(uint32_t table, Slice key, std::string* value) const;
+
+  /// Value of `key` as of min(time, snapshot time) — the snapshot bounds
+  /// how far forward a temporal read inside it can see.
+  Status GetAsOf(uint32_t table, Slice key, uint64_t time,
+                 std::string* value) const;
+
+  /// Latest visible value per key over [begin, end) at the snapshot time
+  /// (end empty = unbounded). `fn` may return Busy to stop early.
+  Status ScanCurrent(uint32_t table, Slice begin, Slice end,
+                     const std::function<Status(const TupleData&)>& fn) const;
+
+ private:
+  friend class CompliantDB;
+
+  SnapshotReader(TransactionManager* txns, HistoricalStore* hist,
+                 uint64_t snap, std::atomic<int>* open_count);
+
+  /// True if `v` committed at or before `limit`; outputs its commit time.
+  bool ResolveVisible(const TupleData& v, uint64_t limit,
+                      uint64_t* commit) const;
+
+  TransactionManager* txns_;
+  HistoricalStore* hist_;
+  uint64_t snap_;
+  std::atomic<int>* open_count_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_DB_SNAPSHOT_READER_H_

@@ -1,64 +1,124 @@
 #include "storage/buffer_cache.h"
 
+#include <string>
+
 #include "obs/trace.h"
 
 namespace complydb {
 
-BufferCache::BufferCache(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
-  frames_.resize(capacity_);
-  free_list_.reserve(capacity_);
-  for (size_t i = capacity_; i-- > 0;) free_list_.push_back(i);
+namespace {
+
+size_t FloorPow2Clamped(size_t shards, size_t capacity) {
+  if (shards == 0) shards = 1;
+  size_t p = 1;
+  while (p * 2 <= shards) p *= 2;
+  while (p > capacity && p > 1) p /= 2;
+  return p;
+}
+
+}  // namespace
+
+BufferCache::BufferCache(DiskManager* disk, size_t capacity, size_t shards)
+    : disk_(disk),
+      capacity_(capacity == 0 ? 1 : capacity),
+      num_shards_(FloorPow2Clamped(shards, capacity == 0 ? 1 : capacity)),
+      shard_mask_(num_shards_ - 1) {
+  frames_ = std::make_unique<Frame[]>(capacity_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
   auto& reg = obs::MetricsRegistry::Global();
+  // Frames are partitioned statically: shard s owns the contiguous index
+  // range [first, first + count). A page can only ever be cached in a
+  // frame of ShardFor(pgno), so every free-list / LRU operation stays
+  // within one shard's lock.
+  size_t base = capacity_ / num_shards_;
+  size_t extra = capacity_ % num_shards_;
+  size_t first = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    size_t count = base + (s < extra ? 1 : 0);
+    Shard& shard = shards_[s];
+    shard.free_list.reserve(count);
+    for (size_t i = first + count; i-- > first;) shard.free_list.push_back(i);
+    first += count;
+    std::string prefix = "storage.cache.shard" + std::to_string(s);
+    shard.reg_hits = reg.GetCounter(prefix + ".hits");
+    shard.reg_misses = reg.GetCounter(prefix + ".misses");
+    shard.reg_evictions = reg.GetCounter(prefix + ".evictions");
+  }
   reg_hits_ = reg.GetCounter("storage.cache.hits");
   reg_misses_ = reg.GetCounter("storage.cache.misses");
   reg_evictions_ = reg.GetCounter("storage.cache.evictions");
   reg_page_forces_ = reg.GetCounter("storage.cache.page_forces");
+  reg_latch_waits_ = reg.GetCounter("storage.cache.latch_waits");
+  reg_latch_wait_us_ = reg.GetHistogram("storage.cache.latch_wait_us");
 }
 
-void BufferCache::LruRemove(size_t idx) {
+void BufferCache::AcquireLatch(Frame* frame, PageLatchMode mode) {
+  if (mode == PageLatchMode::kNone) return;
+  if (mode == PageLatchMode::kShared) {
+    if (frame->latch.try_lock_shared()) return;
+    reg_latch_waits_->Inc();
+    obs::ScopedLatencyTimer timer(reg_latch_wait_us_);
+    frame->latch.lock_shared();
+  } else {
+    if (frame->latch.try_lock()) return;
+    reg_latch_waits_->Inc();
+    obs::ScopedLatencyTimer timer(reg_latch_wait_us_);
+    frame->latch.lock();
+  }
+}
+
+void BufferCache::ReleaseLatch(Frame* frame, PageLatchMode mode) {
+  if (mode == PageLatchMode::kNone) return;
+  if (mode == PageLatchMode::kShared) {
+    frame->latch.unlock_shared();
+  } else {
+    frame->latch.unlock();
+  }
+}
+
+void BufferCache::LruRemove(Shard* shard, size_t idx) {
   Frame* f = &frames_[idx];
   if (!f->in_lru) return;
   if (f->lru_prev != kNil) {
     frames_[f->lru_prev].lru_next = f->lru_next;
   } else {
-    lru_head_ = f->lru_next;
+    shard->lru_head = f->lru_next;
   }
   if (f->lru_next != kNil) {
     frames_[f->lru_next].lru_prev = f->lru_prev;
   } else {
-    lru_tail_ = f->lru_prev;
+    shard->lru_tail = f->lru_prev;
   }
   f->lru_prev = kNil;
   f->lru_next = kNil;
   f->in_lru = false;
 }
 
-void BufferCache::LruPushMru(size_t idx) {
+void BufferCache::LruPushMru(Shard* shard, size_t idx) {
   Frame* f = &frames_[idx];
   if (f->in_lru) return;
-  f->lru_prev = lru_tail_;
+  f->lru_prev = shard->lru_tail;
   f->lru_next = kNil;
-  if (lru_tail_ != kNil) {
-    frames_[lru_tail_].lru_next = idx;
+  if (shard->lru_tail != kNil) {
+    frames_[shard->lru_tail].lru_next = idx;
   } else {
-    lru_head_ = idx;
+    shard->lru_head = idx;
   }
-  lru_tail_ = idx;
+  shard->lru_tail = idx;
   f->in_lru = true;
 }
 
-void BufferCache::LruPushLru(size_t idx) {
+void BufferCache::LruPushLru(Shard* shard, size_t idx) {
   Frame* f = &frames_[idx];
   if (f->in_lru) return;
-  f->lru_next = lru_head_;
+  f->lru_next = shard->lru_head;
   f->lru_prev = kNil;
-  if (lru_head_ != kNil) {
-    frames_[lru_head_].lru_prev = idx;
+  if (shard->lru_head != kNil) {
+    frames_[shard->lru_head].lru_prev = idx;
   } else {
-    lru_tail_ = idx;
+    shard->lru_tail = idx;
   }
-  lru_head_ = idx;
+  shard->lru_head = idx;
   f->in_lru = true;
 }
 
@@ -102,78 +162,100 @@ Status BufferCache::WriteOutBatch(const std::vector<size_t>& batch) {
   return Status::OK();
 }
 
-Result<size_t> BufferCache::FindVictim() {
-  if (!free_list_.empty()) {
-    size_t idx = free_list_.back();
-    free_list_.pop_back();
+Result<size_t> BufferCache::FindVictim(Shard* shard) {
+  if (!shard->free_list.empty()) {
+    size_t idx = shard->free_list.back();
+    shard->free_list.pop_back();
     return idx;
   }
-  if (lru_head_ == kNil) {
+  if (shard->lru_head == kNil) {
     return Status::Busy("buffer cache: all frames pinned");
   }
-  size_t victim = lru_head_;
-  LruRemove(victim);
+  size_t victim = shard->lru_head;
+  LruRemove(shard, victim);
   Frame* frame = &frames_[victim];
   if (frame->dirty) {
     // Steal: the page may hold uncommitted data; the WAL hook guarantees
-    // the write-ahead rule before the bytes reach disk.
+    // the write-ahead rule before the bytes reach disk. The hooks run
+    // under this shard's mutex only (shard -> WAL -> logger lock order),
+    // so a reader-thread eviction can flush while other shards keep
+    // serving.
     Status s = WriteOut(frame);
     if (!s.ok()) {
       // Still resident and dirty; keep it coldest so the next eviction
       // retries it first.
-      LruPushLru(victim);
+      LruPushLru(shard, victim);
       return s;
     }
   }
-  table_.erase(frame->pgno);
+  shard->table.erase(frame->pgno);
+  frame->pgno = kInvalidPage;
   evictions_.Inc();
   reg_evictions_->Inc();
+  shard->reg_evictions->Inc();
   return victim;
 }
 
-Status BufferCache::FetchPage(PageId pgno, Page** out) {
-  auto it = table_.find(pgno);
-  if (it != table_.end()) {
-    Frame* frame = &frames_[it->second];
-    if (frame->pin_count == 0) LruRemove(it->second);
-    ++frame->pin_count;
+Status BufferCache::FetchPage(PageId pgno, Page** out, PageLatchMode mode) {
+  Shard& shard = ShardFor(pgno);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(pgno);
+  if (it != shard.table.end()) {
+    size_t idx = it->second;
+    Frame* frame = &frames_[idx];
+    if (frame->pin_count.load(std::memory_order_relaxed) == 0) {
+      LruRemove(&shard, idx);
+    }
+    frame->pin_count.fetch_add(1, std::memory_order_relaxed);
     hits_.Inc();
     reg_hits_->Inc();
+    shard.reg_hits->Inc();
+    // The pin taken above keeps the frame resident, so it is safe to
+    // block on the content latch with the shard unlocked (lock order:
+    // never wait on a latch while holding a shard mutex).
+    lock.unlock();
+    AcquireLatch(frame, mode);
     *out = &frame->page;
     return Status::OK();
   }
   misses_.Inc();
   reg_misses_->Inc();
-  Result<size_t> victim = FindVictim();
+  shard.reg_misses->Inc();
+  Result<size_t> victim = FindVictim(&shard);
   if (!victim.ok()) return victim.status();
   size_t idx = victim.value();
   Frame* frame = &frames_[idx];
   Status s = disk_->ReadPage(pgno, &frame->page);
   if (!s.ok()) {
-    free_list_.push_back(idx);
+    shard.free_list.push_back(idx);
     return s;
   }
   for (IoHook* hook : hooks_) {
     Status hs = hook->OnPageRead(pgno, frame->page);
     if (!hs.ok()) {
-      free_list_.push_back(idx);
+      shard.free_list.push_back(idx);
       return hs;
     }
   }
   frame->pgno = pgno;
   frame->dirty = false;
   frame->marked = false;
-  frame->pin_count = 1;
-  table_[pgno] = idx;
+  frame->pin_count.store(1, std::memory_order_relaxed);
+  shard.table[pgno] = idx;
+  // Uncontended: the frame was free or just evicted at pin_count == 0,
+  // and every latch holder keeps a pin, so the latch cannot be held.
+  AcquireLatch(frame, mode);
   *out = &frame->page;
   return Status::OK();
 }
 
-Result<PageId> BufferCache::NewPage(Page** out) {
+Result<PageId> BufferCache::NewPage(Page** out, PageLatchMode mode) {
   Result<PageId> alloc = disk_->AllocatePage();
   if (!alloc.ok()) return alloc.status();
   PageId pgno = alloc.value();
-  Result<size_t> victim = FindVictim();
+  Shard& shard = ShardFor(pgno);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Result<size_t> victim = FindVictim(&shard);
   if (!victim.ok()) return victim.status();
   size_t idx = victim.value();
   Frame* frame = &frames_[idx];
@@ -181,47 +263,72 @@ Result<PageId> BufferCache::NewPage(Page** out) {
   frame->pgno = pgno;
   frame->dirty = true;
   frame->marked = false;
-  frame->pin_count = 1;
-  table_[pgno] = idx;
+  frame->pin_count.store(1, std::memory_order_relaxed);
+  shard.table[pgno] = idx;
+  AcquireLatch(frame, mode);  // uncontended, same argument as FetchPage
   *out = &frame->page;
   return pgno;
 }
 
-void BufferCache::Unpin(PageId pgno, bool dirty) {
-  auto it = table_.find(pgno);
-  if (it == table_.end()) return;
-  Frame* frame = &frames_[it->second];
-  if (frame->pin_count > 0) --frame->pin_count;
+void BufferCache::Unpin(PageId pgno, bool dirty, PageLatchMode mode) {
+  Shard& shard = ShardFor(pgno);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(pgno);
+  if (it == shard.table.end()) return;
+  size_t idx = it->second;
+  Frame* frame = &frames_[idx];
+  // Release the latch before the pin so "pin_count == 0 implies latch
+  // free" holds at every instant the shard mutex is released.
+  ReleaseLatch(frame, mode);
   if (dirty) frame->dirty = true;
-  if (frame->pin_count == 0) LruPushMru(it->second);
+  if (frame->pin_count.load(std::memory_order_relaxed) > 0) {
+    frame->pin_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (frame->pin_count.load(std::memory_order_relaxed) == 0) {
+    LruPushMru(&shard, idx);
+  }
 }
 
 Status BufferCache::FlushPage(PageId pgno) {
-  auto it = table_.find(pgno);
-  if (it == table_.end()) return Status::OK();
+  Shard& shard = ShardFor(pgno);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(pgno);
+  if (it == shard.table.end()) return Status::OK();
   Frame* frame = &frames_[it->second];
   if (!frame->dirty) return Status::OK();
   return WriteOut(frame);
 }
 
-Status BufferCache::FlushAll() {
+// Whole-cache operations hold every shard mutex (index order) for their
+// full duration: the collected batch must stay stable against concurrent
+// reader-side evictions, which could otherwise recycle a collected frame
+// for a different page between collection and pwrite.
+
+Status BufferCache::FlushAllLocked() {
   std::vector<size_t> batch;
   for (size_t i = 0; i < capacity_; ++i) {
     Frame& frame = frames_[i];
-    if (frame.pgno != kInvalidPage && table_.count(frame.pgno) > 0 &&
-        frame.dirty) {
-      batch.push_back(i);
-    }
+    if (frame.pgno != kInvalidPage && frame.dirty) batch.push_back(i);
   }
-  CDB_RETURN_IF_ERROR(WriteOutBatch(batch));
+  return WriteOutBatch(batch);
+}
+
+Status BufferCache::FlushAll() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) locks.emplace_back(shards_[s].mu);
+  CDB_RETURN_IF_ERROR(FlushAllLocked());
   return disk_->Sync();
 }
 
 Status BufferCache::FlushMarkedAndRemark() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) locks.emplace_back(shards_[s].mu);
   std::vector<size_t> batch;
   for (size_t i = 0; i < capacity_; ++i) {
     Frame& frame = frames_[i];
-    if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
+    if (frame.pgno == kInvalidPage) continue;
     if (frame.dirty && frame.marked) batch.push_back(i);
   }
   CDB_RETURN_IF_ERROR(WriteOutBatch(batch));
@@ -230,38 +337,59 @@ Status BufferCache::FlushMarkedAndRemark() {
     obs::TraceRing::Global().Emit(obs::TraceEventType::kPageForce,
                                   frames_[idx].pgno);
   }
-  for (auto& frame : frames_) {
-    if (frame.pgno == kInvalidPage || table_.count(frame.pgno) == 0) continue;
+  for (size_t i = 0; i < capacity_; ++i) {
+    Frame& frame = frames_[i];
+    if (frame.pgno == kInvalidPage) continue;
     frame.marked = frame.dirty;
   }
   return Status::OK();
 }
 
 Status BufferCache::DropAll() {
-  CDB_RETURN_IF_ERROR(FlushAll());
-  for (auto& frame : frames_) {
-    if (frame.pin_count > 0) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) locks.emplace_back(shards_[s].mu);
+  CDB_RETURN_IF_ERROR(FlushAllLocked());
+  CDB_RETURN_IF_ERROR(disk_->Sync());
+  for (size_t i = 0; i < capacity_; ++i) {
+    if (frames_[i].pin_count.load(std::memory_order_relaxed) > 0) {
       return Status::Busy("buffer cache: cannot drop pinned frame");
     }
   }
-  table_.clear();
-  free_list_.clear();
-  lru_head_ = kNil;
-  lru_tail_ = kNil;
-  for (size_t i = capacity_; i-- > 0;) {
-    frames_[i] = Frame{};
-    free_list_.push_back(i);
+  size_t base = capacity_ / num_shards_;
+  size_t extra = capacity_ % num_shards_;
+  size_t first = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    size_t count = base + (s < extra ? 1 : 0);
+    Shard& shard = shards_[s];
+    shard.table.clear();
+    shard.free_list.clear();
+    shard.lru_head = kNil;
+    shard.lru_tail = kNil;
+    for (size_t i = first + count; i-- > first;) {
+      Frame& frame = frames_[i];
+      frame.pgno = kInvalidPage;
+      frame.dirty = false;
+      frame.marked = false;
+      frame.pin_count.store(0, std::memory_order_relaxed);
+      frame.lru_prev = kNil;
+      frame.lru_next = kNil;
+      frame.in_lru = false;
+      shard.free_list.push_back(i);
+    }
+    first += count;
   }
   return Status::OK();
 }
 
 size_t BufferCache::dirty_count() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) locks.emplace_back(shards_[s].mu);
   size_t n = 0;
-  for (const auto& frame : frames_) {
-    if (frame.pgno != kInvalidPage && table_.count(frame.pgno) > 0 &&
-        frame.dirty) {
-      ++n;
-    }
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Frame& frame = frames_[i];
+    if (frame.pgno != kInvalidPage && frame.dirty) ++n;
   }
   return n;
 }

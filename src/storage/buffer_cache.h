@@ -3,6 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +16,12 @@
 #include "storage/page.h"
 
 namespace complydb {
+
+/// Latch to take on the fetched frame's contents. kNone preserves the
+/// original single-threaded contract (pin only); concurrent callers pair
+/// kShared reads with kExclusive mutations so a reader never observes a
+/// half-applied page edit.
+enum class PageLatchMode { kNone, kShared, kExclusive };
 
 /// Fixed-capacity LRU buffer cache with a *steal / no-force* policy:
 /// dirty pages of uncommitted transactions may be evicted (steal — this is
@@ -28,24 +37,48 @@ namespace complydb {
 /// cycle — "we enforce this by marking all dirty pages once every regret
 /// interval, after calling pwrite on all dirty pages that were marked
 /// during the previous cycle."
+///
+/// Thread safety: the frame table, free list, and intrusive LRU are split
+/// into `shards` independent shards keyed by PageId (power of two, each
+/// with its own mutex), so pins, unpins, and evictions in different shards
+/// never serialize on one lock. Page *contents* are protected by a
+/// per-frame reader/writer latch selected via PageLatchMode. Lock order:
+/// a thread may block on a frame latch only while holding no shard mutex
+/// (the miss path acquires the latch on a freshly-installed frame, which
+/// is uncontended because eviction requires pin_count == 0 and every latch
+/// holder keeps a pin). Whole-cache operations (FlushAll,
+/// FlushMarkedAndRemark, DropAll, dirty_count) take every shard mutex in
+/// index order, which also keeps the write-out batch stable against
+/// concurrent reader-side evictions.
 class BufferCache {
  public:
-  BufferCache(DiskManager* disk, size_t capacity);
+  /// `shards` is rounded down to a power of two and clamped to
+  /// [1, capacity]. The default of 1 preserves the exact global-LRU
+  /// eviction order of the original cache (tests and the auditor rely on
+  /// it); the DB facade picks a wider value for concurrent workloads.
+  BufferCache(DiskManager* disk, size_t capacity, size_t shards = 1);
 
   BufferCache(const BufferCache&) = delete;
   BufferCache& operator=(const BufferCache&) = delete;
 
-  /// Hooks run in registration order on every read and write.
+  /// Hooks run in registration order on every read and write. Not
+  /// synchronized: register all hooks before concurrent use. Hooks may be
+  /// invoked from any thread that triggers a disk crossing (including
+  /// reader-side evictions), so they must be internally thread-safe.
   void AddHook(IoHook* hook) { hooks_.push_back(hook); }
 
-  /// Pins the page (fetching from disk on a miss) and returns a pointer
-  /// valid until Unpin.
-  Status FetchPage(PageId pgno, Page** out);
+  /// Pins the page (fetching from disk on a miss), acquires the requested
+  /// latch, and returns a pointer valid until Unpin.
+  Status FetchPage(PageId pgno, Page** out,
+                   PageLatchMode mode = PageLatchMode::kNone);
 
   /// Allocates a fresh page, pins it zeroed; caller formats it.
-  Result<PageId> NewPage(Page** out);
+  Result<PageId> NewPage(Page** out,
+                         PageLatchMode mode = PageLatchMode::kNone);
 
-  void Unpin(PageId pgno, bool dirty);
+  /// Releases the latch taken at fetch (`mode` must match) and unpins.
+  void Unpin(PageId pgno, bool dirty,
+             PageLatchMode mode = PageLatchMode::kNone);
 
   Status FlushPage(PageId pgno);
   Status FlushAll();
@@ -59,6 +92,7 @@ class BufferCache {
   Status DropAll();
 
   size_t capacity() const { return capacity_; }
+  size_t shards() const { return num_shards_; }
   uint64_t hits() const { return hits_.Value(); }
   uint64_t misses() const { return misses_.Value(); }
   uint64_t evictions() const { return evictions_.Value(); }
@@ -71,10 +105,14 @@ class BufferCache {
 
   struct Frame {
     Page page;
-    PageId pgno = kInvalidPage;
-    bool dirty = false;
-    bool marked = false;
-    int pin_count = 0;
+    PageId pgno = kInvalidPage;  // kInvalidPage = not resident
+    bool dirty = false;          // guarded by the owning shard's mutex
+    bool marked = false;         // guarded by the owning shard's mutex
+    std::atomic<int> pin_count{0};
+    /// Content latch. Acquired only through PageLatchMode fetches; every
+    /// holder also holds a pin, so pin_count == 0 implies the latch is
+    /// free (what makes eviction safe).
+    std::shared_mutex latch;
     // Intrusive LRU list links (frame indices). Only unpinned resident
     // frames are on the list; head is the eviction candidate, tail the
     // most recently unpinned.
@@ -83,24 +121,49 @@ class BufferCache {
     bool in_lru = false;
   };
 
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, size_t> table;
+    std::vector<size_t> free_list;
+    size_t lru_head = kNil;
+    size_t lru_tail = kNil;
+    obs::Counter* reg_hits = nullptr;
+    obs::Counter* reg_misses = nullptr;
+    obs::Counter* reg_evictions = nullptr;
+  };
+
+  Shard& ShardFor(PageId pgno) {
+    return shards_[static_cast<size_t>(pgno) & shard_mask_];
+  }
+  const Shard& ShardFor(PageId pgno) const {
+    return shards_[static_cast<size_t>(pgno) & shard_mask_];
+  }
+
+  void AcquireLatch(Frame* frame, PageLatchMode mode);
+  static void ReleaseLatch(Frame* frame, PageLatchMode mode);
+
   Status WriteOut(Frame* frame);
   Status WriteOutBatch(const std::vector<size_t>& batch);
-  Result<size_t> FindVictim();
-  void LruRemove(size_t idx);
-  void LruPushMru(size_t idx);
-  void LruPushLru(size_t idx);
+  /// Requires the shard's mutex.
+  Result<size_t> FindVictim(Shard* shard);
+  /// Collect + batch-write every dirty resident frame; requires all shard
+  /// mutexes (DropAll composes it with the reset under one lock scope).
+  Status FlushAllLocked();
+  void LruRemove(Shard* shard, size_t idx);
+  void LruPushMru(Shard* shard, size_t idx);
+  void LruPushLru(Shard* shard, size_t idx);
 
   DiskManager* disk_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> table_;
-  std::vector<size_t> free_list_;
+  size_t num_shards_;
+  size_t shard_mask_;
+  std::unique_ptr<Frame[]> frames_;
+  std::unique_ptr<Shard[]> shards_;
   std::vector<IoHook*> hooks_;
-  size_t lru_head_ = kNil;
-  size_t lru_tail_ = kNil;
   // Per-instance counts (the DbStats/accessor contract); the process-wide
   // registry aggregates the same events across instances under
-  // storage.cache.*.
+  // storage.cache.* (with per-shard breakdowns under
+  // storage.cache.shard<i>.*).
   obs::Counter hits_;
   obs::Counter misses_;
   obs::Counter evictions_;
@@ -108,14 +171,18 @@ class BufferCache {
   obs::Counter* reg_misses_;
   obs::Counter* reg_evictions_;
   obs::Counter* reg_page_forces_;
+  obs::Counter* reg_latch_waits_;
+  obs::Histogram* reg_latch_wait_us_;
 };
 
-/// RAII pin guard.
+/// RAII pin guard. Carries the latch mode taken at fetch so Release pairs
+/// the matching unlock with the unpin.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferCache* cache, PageId pgno, Page* page)
-      : cache_(cache), pgno_(pgno), page_(page) {}
+  PageGuard(BufferCache* cache, PageId pgno, Page* page,
+            PageLatchMode mode = PageLatchMode::kNone)
+      : cache_(cache), pgno_(pgno), page_(page), mode_(mode) {}
   ~PageGuard() { Release(); }
 
   PageGuard(const PageGuard&) = delete;
@@ -128,8 +195,11 @@ class PageGuard {
       pgno_ = o.pgno_;
       page_ = o.page_;
       dirty_ = o.dirty_;
+      mode_ = o.mode_;
       o.cache_ = nullptr;
       o.page_ = nullptr;
+      o.dirty_ = false;
+      o.mode_ = PageLatchMode::kNone;
     }
     return *this;
   }
@@ -138,13 +208,16 @@ class PageGuard {
   Page* operator->() const { return page_; }
   PageId pgno() const { return pgno_; }
   void MarkDirty() { dirty_ = true; }
+  bool dirty() const { return dirty_; }
   bool valid() const { return page_ != nullptr; }
 
   void Release() {
     if (cache_ != nullptr && page_ != nullptr) {
-      cache_->Unpin(pgno_, dirty_);
+      cache_->Unpin(pgno_, dirty_, mode_);
       cache_ = nullptr;
       page_ = nullptr;
+      dirty_ = false;
+      mode_ = PageLatchMode::kNone;
     }
   }
 
@@ -153,6 +226,7 @@ class PageGuard {
   PageId pgno_ = kInvalidPage;
   Page* page_ = nullptr;
   bool dirty_ = false;
+  PageLatchMode mode_ = PageLatchMode::kNone;
 };
 
 }  // namespace complydb

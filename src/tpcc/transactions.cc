@@ -243,6 +243,117 @@ Status Workload::OrderStatus() {
   return Status::OK();
 }
 
+Status Workload::SelectCustomerRO(const SnapshotReader& snap, TpccRandom* rng,
+                                  uint32_t w, uint32_t d,
+                                  uint32_t* c_id) const {
+  if (!rng->Percent(60) || tables_.customer_by_name == 0) {
+    *c_id = rng->CustomerId(scale_.customers_per_district);
+    return Status::OK();
+  }
+  uint32_t name_c = rng->CustomerId(scale_.customers_per_district);
+  char prefix[20];
+  std::snprintf(prefix, sizeof(prefix), "%08x%08x", w, d);
+  std::string secondary =
+      std::string(prefix) + "NAME" + std::to_string(name_c % 10);
+  // Index entries are ordinary tuples keyed secondary + '\0' + primary;
+  // scan the snapshot over that prefix range (ScanIndex does the same on
+  // the live view).
+  std::string begin_key = secondary;
+  begin_key.push_back('\0');
+  std::string end_key = secondary;
+  end_key.push_back('\x01');
+  std::vector<uint32_t> matches;
+  CDB_RETURN_IF_ERROR(snap.ScanCurrent(
+      tables_.customer_by_name, begin_key, end_key,
+      [&](const TupleData& entry) {
+        // CustomerKey = w,d,c big-endian (12 bytes).
+        if (entry.key.size() == secondary.size() + 1 + 12) {
+          matches.push_back(DecodeBigEndian32(entry.key.data() +
+                                              secondary.size() + 1 + 8));
+        }
+        return Status::OK();
+      }));
+  if (matches.empty()) {
+    *c_id = rng->CustomerId(scale_.customers_per_district);
+    return Status::OK();
+  }
+  *c_id = matches[(matches.size() + 1) / 2 - 1];
+  return Status::OK();
+}
+
+Status Workload::OrderStatusRO(const SnapshotReader& snap,
+                               TpccRandom* rng) const {
+  uint32_t w = static_cast<uint32_t>(rng->Uniform(1, scale_.warehouses));
+  uint32_t d = static_cast<uint32_t>(
+      rng->Uniform(1, scale_.districts_per_warehouse));
+  uint32_t c = 0;
+  CDB_RETURN_IF_ERROR(SelectCustomerRO(snap, rng, w, d, &c));
+
+  std::string raw;
+  CDB_RETURN_IF_ERROR(snap.Get(tables_.customer, CustomerKey(w, d, c), &raw));
+  CustomerRow customer;
+  CDB_RETURN_IF_ERROR(CustomerRow::Decode(raw, &customer));
+
+  Status s = snap.Get(tables_.cust_last_order,
+                      CustomerLastOrderKey(w, d, c), &raw);
+  if (s.IsNotFound()) return Status::OK();  // customer never ordered
+  CDB_RETURN_IF_ERROR(s);
+  uint32_t o_id = DecodeFixed32(raw.data());
+
+  CDB_RETURN_IF_ERROR(snap.Get(tables_.order, OrderKey(w, d, o_id), &raw));
+  OrderRow order;
+  CDB_RETURN_IF_ERROR(OrderRow::Decode(raw, &order));
+
+  std::string begin_key = OrderLineKey(w, d, o_id, 0);
+  std::string end_key = OrderLineKey(w, d, o_id + 1, 0);
+  size_t lines = 0;
+  CDB_RETURN_IF_ERROR(snap.ScanCurrent(tables_.order_line, begin_key, end_key,
+                                       [&](const TupleData&) {
+                                         ++lines;
+                                         return Status::OK();
+                                       }));
+  return Status::OK();
+}
+
+Status Workload::StockLevelRO(const SnapshotReader& snap,
+                              TpccRandom* rng) const {
+  uint32_t w = static_cast<uint32_t>(rng->Uniform(1, scale_.warehouses));
+  uint32_t d = static_cast<uint32_t>(
+      rng->Uniform(1, scale_.districts_per_warehouse));
+  int32_t threshold = static_cast<int32_t>(rng->Uniform(10, 20));
+
+  std::string raw;
+  CDB_RETURN_IF_ERROR(snap.Get(tables_.district, DistrictKey(w, d), &raw));
+  DistrictRow district;
+  CDB_RETURN_IF_ERROR(DistrictRow::Decode(raw, &district));
+
+  uint32_t from =
+      district.next_o_id > 20 ? district.next_o_id - 20 : 1;
+  std::set<uint32_t> items;
+  std::string begin_key = OrderLineKey(w, d, from, 0);
+  std::string end_key = OrderLineKey(w, d, district.next_o_id, 0);
+  CDB_RETURN_IF_ERROR(snap.ScanCurrent(tables_.order_line, begin_key, end_key,
+                                       [&](const TupleData& t) {
+                                         OrderLineRow line;
+                                         Status ds = OrderLineRow::Decode(
+                                             t.value, &line);
+                                         if (!ds.ok()) return ds;
+                                         items.insert(line.i_id);
+                                         return Status::OK();
+                                       }));
+  size_t low = 0;
+  for (uint32_t i_id : items) {
+    Status s = snap.Get(tables_.stock, StockKey(w, i_id), &raw);
+    if (s.IsNotFound()) continue;
+    CDB_RETURN_IF_ERROR(s);
+    StockRow stock;
+    CDB_RETURN_IF_ERROR(StockRow::Decode(raw, &stock));
+    if (stock.quantity < threshold) ++low;
+  }
+  (void)low;
+  return Status::OK();
+}
+
 Status Workload::Delivery() {
   uint32_t w = RandomWarehouse();
   uint32_t carrier = static_cast<uint32_t>(rng_.Uniform(1, 10));

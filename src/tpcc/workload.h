@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "db/compliant_db.h"
+#include "db/snapshot_reader.h"
 #include "tpcc/schema.h"
 #include "tpcc/tpcc_random.h"
 
@@ -66,6 +67,13 @@ class Workload {
   Status Delivery();
   Status StockLevel();
 
+  // Read-only variants of the two read-only TPC-C transactions, executed
+  // against a snapshot handle. Safe to call from any reader thread
+  // concurrently with the writer; callers pass a per-thread rng (the
+  // workload's own rng is not thread-safe).
+  Status OrderStatusRO(const SnapshotReader& snap, TpccRandom* rng) const;
+  Status StockLevelRO(const SnapshotReader& snap, TpccRandom* rng) const;
+
   /// Runs `num_txns` transactions at the standard mix.
   Status RunMix(uint64_t num_txns, MixStats* stats);
 
@@ -77,6 +85,8 @@ class Workload {
   /// Customer selection per clause 2.5.1.2: 60% by last name through the
   /// secondary index (middle match), 40% by id (NURand).
   Status SelectCustomer(uint32_t w, uint32_t d, uint32_t* c_id);
+  Status SelectCustomerRO(const SnapshotReader& snap, TpccRandom* rng,
+                          uint32_t w, uint32_t d, uint32_t* c_id) const;
 
   uint32_t RandomWarehouse() {
     return static_cast<uint32_t>(rng_.Uniform(1, scale_.warehouses));

@@ -1,6 +1,7 @@
 #include "tsb/tsb_policy.h"
 
 #include <cstring>
+#include <mutex>
 
 #include "compliance/compliance_log.h"
 
@@ -29,6 +30,7 @@ SplitKind TimeSplitPolicy::Decide(const Page& leaf) {
 }
 
 Status HistoricalStore::LoadAll() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (const auto& name : worm_->ListPrefix("hist_")) {
     std::string blob;
     CDB_RETURN_IF_ERROR(worm_->ReadAll(name, &blob));
@@ -66,6 +68,7 @@ Status HistoricalStore::IndexPage(uint32_t tree_id, const std::string& name,
 }
 
 std::vector<std::string> HistoricalStore::FilesFor(uint32_t tree_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, info] : files_) {
     if (info.tree_id == tree_id) names.push_back(name);
@@ -75,12 +78,14 @@ std::vector<std::string> HistoricalStore::FilesFor(uint32_t tree_id) const {
 
 std::vector<TupleData> HistoricalStore::FileTuples(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return {};
   return it->second.tuples;
 }
 
 Status HistoricalStore::DropFile(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such historical file");
   for (const auto& t : it->second.tuples) {
@@ -103,6 +108,7 @@ Status HistoricalStore::DropFile(const std::string& name) {
 
 Result<std::string> HistoricalStore::WriteHistoricalPage(uint32_t tree_id,
                                                          const Page& image) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   uint64_t seq = next_seq_[tree_id]++;
   std::string name = HistPageFileName(tree_id, seq);
   CDB_RETURN_IF_ERROR(
@@ -113,6 +119,7 @@ Result<std::string> HistoricalStore::WriteHistoricalPage(uint32_t tree_id,
 
 std::vector<TupleData> HistoricalStore::GetVersions(uint32_t tree_id,
                                                     Slice key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find({tree_id, key.ToString()});
   if (it == index_.end()) return {};
   return it->second;

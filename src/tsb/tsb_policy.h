@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,9 @@ class TimeSplitPolicy : public SplitPolicy {
 /// versions. (The paper keeps historical pages addressable through the
 /// TSB-tree itself; an in-memory side index over the WORM files preserves
 /// the same visibility with far less machinery — see DESIGN.md.)
+///
+/// Thread-safe: a reader/writer lock lets snapshot readers consult the
+/// version index concurrently with the writer's migrations and vacuums.
 class HistoricalStore : public MigrationSink {
  public:
   explicit HistoricalStore(WormStore* worm) : worm_(worm) {}
@@ -65,13 +69,21 @@ class HistoricalStore : public MigrationSink {
   /// "the unit of deletion on WORM is an entire file").
   Status DropFile(const std::string& name);
 
-  uint64_t page_count() const { return page_count_; }
-  uint64_t tuple_count() const { return tuple_count_; }
+  uint64_t page_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return page_count_;
+  }
+  uint64_t tuple_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tuple_count_;
+  }
 
  private:
+  /// Requires mu_ held exclusively.
   Status IndexPage(uint32_t tree_id, const std::string& name,
                    const Page& image);
 
+  mutable std::shared_mutex mu_;
   WormStore* worm_;
   std::map<uint32_t, uint64_t> next_seq_;
   std::map<std::pair<uint32_t, std::string>, std::vector<TupleData>> index_;

@@ -1,6 +1,7 @@
 #include "txn/transaction_manager.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,10 +33,12 @@ TxnMetrics& Tm() {
 }  // namespace
 
 void TransactionManager::RegisterTree(uint32_t tree_id, Btree* tree) {
+  std::unique_lock<std::shared_mutex> lock(trees_mu_);
   trees_[tree_id] = tree;
 }
 
 Btree* TransactionManager::GetTree(uint32_t tree_id) const {
+  std::shared_lock<std::shared_mutex> lock(trees_mu_);
   auto it = trees_.find(tree_id);
   return it == trees_.end() ? nullptr : it->second;
 }
@@ -139,6 +142,7 @@ Status TransactionManager::GetAsOf(uint32_t tree_id, Slice key, uint64_t time,
   // through the committed-txn table, uncommitted ones are invisible.
   const TupleData* best = nullptr;
   uint64_t best_time = 0;
+  std::shared_lock<std::shared_mutex> times_lock(times_mu_);
   for (const auto& v : versions) {
     uint64_t commit;
     if (v.stamped) {
@@ -180,8 +184,13 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   txn->state_ = Transaction::State::kCommitted;
   txn->commit_time_ = commit_time;
-  last_commit_time_ = commit_time;
-  committed_times_[txn->id_] = commit_time;
+  {
+    std::unique_lock<std::shared_mutex> times_lock(times_mu_);
+    committed_times_[txn->id_] = commit_time;
+  }
+  // Published after the committed-times entry: a snapshot pinned at this
+  // commit time can always resolve every start id it may encounter.
+  last_commit_time_.store(commit_time, std::memory_order_release);
 
   // Only now may the compliance logger learn of the commit (§IV-B). With
   // async shipping this call is the group-commit ticket: it returns when
@@ -271,15 +280,23 @@ Status TransactionManager::StampPending(size_t max_txns) {
 }
 
 Result<uint64_t> TransactionManager::ResolveCommitTime(uint64_t start) const {
+  std::shared_lock<std::shared_mutex> lock(times_mu_);
   auto it = committed_times_.find(start);
   if (it != committed_times_.end()) return it->second;
   return Status::NotFound("start is not a committed txn id");
 }
 
 void TransactionManager::RestoreCommittedTxn(TxnId id, uint64_t commit_time) {
-  committed_times_[id] = commit_time;
+  {
+    std::unique_lock<std::shared_mutex> lock(times_mu_);
+    committed_times_[id] = commit_time;
+  }
   last_tick_ = std::max(last_tick_, std::max(id, commit_time));
-  last_commit_time_ = std::max(last_commit_time_, commit_time);
+  uint64_t prev = last_commit_time_.load(std::memory_order_relaxed);
+  while (commit_time > prev &&
+         !last_commit_time_.compare_exchange_weak(prev, commit_time,
+                                                  std::memory_order_release)) {
+  }
 }
 
 }  // namespace complydb

@@ -1,10 +1,12 @@
 #ifndef COMPLYDB_TXN_TRANSACTION_MANAGER_H_
 #define COMPLYDB_TXN_TRANSACTION_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,6 +65,11 @@ class Transaction {
 /// monotonic sequence seeded by the compliance clock, so the lazy stamp
 /// upgrade never reorders versions and commit times strictly increase
 /// (an auditor check, §IV-B).
+///
+/// Mutation stays single-writer, but snapshot readers call GetTree,
+/// ResolveCommitTime, and last_commit_time from other threads, so the
+/// tree registry and the committed-times table take reader/writer locks
+/// and the last commit time is atomic.
 class TransactionManager {
  public:
   TransactionManager(LogManager* wal, Clock* clock,
@@ -103,7 +110,9 @@ class TransactionManager {
   /// for txn ids. NotFound for uncommitted/aborted ids.
   Result<uint64_t> ResolveCommitTime(uint64_t start) const;
 
-  uint64_t last_commit_time() const { return last_commit_time_; }
+  uint64_t last_commit_time() const {
+    return last_commit_time_.load(std::memory_order_acquire);
+  }
   bool HasActiveTxn() const { return active_ != nullptr; }
 
   /// Recovery hook: registers a commit found in the WAL.
@@ -128,11 +137,13 @@ class TransactionManager {
   LogManager* wal_;
   Clock* clock_;
   CommitObserver* observer_;
+  mutable std::shared_mutex trees_mu_;
   std::unordered_map<uint32_t, Btree*> trees_;
   std::unique_ptr<Transaction> active_;
   uint64_t last_tick_ = 0;
-  uint64_t last_commit_time_ = 0;
+  std::atomic<uint64_t> last_commit_time_{0};
   std::deque<PendingStamp> pending_stamps_;
+  mutable std::shared_mutex times_mu_;
   std::map<TxnId, uint64_t> committed_times_;
 };
 

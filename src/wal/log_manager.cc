@@ -77,18 +77,25 @@ LogManager::~LogManager() {
 }
 
 Lsn LogManager::Append(WalRecord* rec) {
-  rec->lsn = next_lsn();
+  std::lock_guard<std::mutex> lock(mu_);
+  rec->lsn = durable_end_ + pending_.size();
   pending_ += rec->Encode();
   Wm().appends->Inc();
   return rec->lsn;
 }
 
 Status LogManager::FlushTo(Lsn target) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (target < durable_end_) return Status::OK();
-  return FlushAll();
+  return FlushAllLocked();
 }
 
 Status LogManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushAllLocked();
+}
+
+Status LogManager::FlushAllLocked() {
   if (pending_.empty()) return Status::OK();
   WalMetrics& wm = Wm();
   obs::ScopedLatencyTimer timer(wm.fsync_us);
@@ -110,13 +117,22 @@ Status LogManager::FlushAll() {
 
 Status LogManager::Scan(
     const std::function<Status(const WalRecord&)>& fn) const {
+  // Snapshot the durable extent; the scan itself reads the file through
+  // its own stream, so a concurrent flush appending past the snapshot is
+  // simply not visited.
+  Lsn base, durable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = base_lsn_;
+    durable = durable_end_;
+  }
   std::ifstream in(path_, std::ios::binary);
   if (!in.is_open()) return Status::IOError("wal scan open " + path_);
   std::string blob((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (blob.size() < kHeaderSize) return Status::OK();
   // Only durable bytes are authoritative.
-  size_t durable_bytes = kHeaderSize + (durable_end_ - base_lsn_);
+  size_t durable_bytes = kHeaderSize + (durable - base);
   if (blob.size() > durable_bytes) blob.resize(durable_bytes);
   size_t off = kHeaderSize;
   while (off < blob.size()) {
@@ -129,7 +145,7 @@ Status LogManager::Scan(
     Status s = WalRecord::Decode(Slice(blob.data() + off, blob.size() - off),
                                  &rec, &consumed);
     if (!s.ok()) return s;  // mid-log corruption: surface it
-    rec.lsn = base_lsn_ + (off - kHeaderSize);
+    rec.lsn = base + (off - kHeaderSize);
     CDB_RETURN_IF_ERROR(fn(rec));
     off += consumed;
   }
@@ -137,6 +153,7 @@ Status LogManager::Scan(
 }
 
 Status LogManager::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!pending_.empty()) {
     return Status::Busy("wal truncate with unflushed records");
   }
@@ -158,7 +175,8 @@ Status LogManager::Truncate() {
 
 Status LogManager::StartTail(WormStore* worm, const std::string& name,
                              uint64_t retention_micros) {
-  CDB_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  CDB_RETURN_IF_ERROR(FlushAllLocked());
   if (name.empty()) {
     tail_worm_ = nullptr;
     tail_name_.clear();

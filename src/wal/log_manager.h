@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -23,6 +24,12 @@ namespace complydb {
 /// durable and simultaneously mirrors the flushed bytes to the current
 /// WORM tail file, so the WORM copy is always at least as current as the
 /// on-disk log.
+///
+/// Thread-safe: an internal mutex serializes appends, flushes, scans, and
+/// truncation. Concurrent flushes happen in practice — the WalFlushHook
+/// fires from whichever thread evicts a dirty page (reader threads
+/// included), while the writer appends. Lock order: buffer-cache shard
+/// mutex -> this mutex (never the reverse).
 class LogManager {
  public:
   static constexpr size_t kHeaderSize = 8;
@@ -42,8 +49,14 @@ class LogManager {
   Status FlushTo(Lsn target);
   Status FlushAll();
 
-  Lsn durable_lsn() const { return durable_end_; }
-  Lsn next_lsn() const { return durable_end_ + pending_.size(); }
+  Lsn durable_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_end_;
+  }
+  Lsn next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_end_ + pending_.size();
+  }
 
   /// Scans durable records in order. Stops cleanly at a torn tail (a
   /// truncated final record is how crashes manifest); a mid-log CRC
@@ -56,10 +69,15 @@ class LogManager {
   Status StartTail(WormStore* worm, const std::string& name,
                    uint64_t retention_micros);
 
+  /// Writer-thread only (tail mirroring is reconfigured between runs, not
+  /// concurrently with traffic), so no lock is taken for the reference.
   const std::string& tail_name() const { return tail_name_; }
 
   /// Simulates losing the in-memory buffer in a crash (tests).
-  void DropPending() { pending_.clear(); }
+  void DropPending() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+  }
 
   /// Checkpoint truncation: discards all durable records (callers ensure
   /// every page they describe is flushed — i.e., right after a successful
@@ -67,13 +85,20 @@ class LogManager {
   /// scans only post-checkpoint records.
   Status Truncate();
 
-  Lsn base_lsn() const { return base_lsn_; }
+  Lsn base_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return base_lsn_;
+  }
 
  private:
   LogManager(std::string path, std::FILE* file, Lsn base, Lsn end)
       : path_(std::move(path)), file_(file), base_lsn_(base),
         durable_end_(end) {}
 
+  /// Requires mu_. Shared by FlushTo/FlushAll/StartTail.
+  Status FlushAllLocked();
+
+  mutable std::mutex mu_;
   std::string path_;
   std::FILE* file_;
   Lsn base_lsn_;

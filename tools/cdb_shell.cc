@@ -217,10 +217,12 @@ int main(int argc, char** argv) {
     } else if (cmd == "stats") {
       auto r = db->Stats();
       if (!r.ok()) { PrintStatus(r.status()); continue; }
-      std::printf("epoch=%llu cache=%llu/%llu log=%lluB hist=%llu pages\n",
+      std::printf("epoch=%llu cache=%llu/%llu (%zu shards) log=%lluB "
+                  "hist=%llu pages\n",
                   static_cast<unsigned long long>(r.value().epoch),
                   static_cast<unsigned long long>(r.value().cache_hits),
                   static_cast<unsigned long long>(r.value().cache_misses),
+                  db->cache()->shards(),
                   static_cast<unsigned long long>(
                       r.value().compliance_log_bytes),
                   static_cast<unsigned long long>(

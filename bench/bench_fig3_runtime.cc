@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/trace_export.h"
 
 using namespace complydb;
 using namespace complydb::bench;
@@ -103,6 +104,24 @@ struct CommitPathResult {
   double p95 = 0;
   double p99 = 0;
   uint64_t worm_flushes = 0;
+  // Critical-path decomposition (db.commit_critical_path.*), summed over
+  // all commits. foreground is defined as the residual, so the four
+  // segments sum to the commit *span* duration by construction; the gap
+  // vs sum_us (the db.commit_us timer) is the timer-vs-span window skew.
+  uint64_t seg_foreground_us = 0;
+  uint64_t seg_queued_us = 0;
+  uint64_t seg_drain_us = 0;
+  uint64_t seg_worm_us = 0;
+
+  uint64_t SegmentsSum() const {
+    return seg_foreground_us + seg_queued_us + seg_drain_us + seg_worm_us;
+  }
+  double SegmentsErrPct() const {
+    if (sum_us == 0) return 0;
+    double diff = static_cast<double>(SegmentsSum()) -
+                  static_cast<double>(sum_us);
+    return 100.0 * diff / static_cast<double>(sum_us);
+  }
 };
 
 int RunCommitPath(bool async, uint64_t txns, CommitPathResult* out) {
@@ -157,6 +176,14 @@ int RunCommitPath(bool async, uint64_t txns, CommitPathResult* out) {
       out->p50 = h.p50;
       out->p95 = h.p95;
       out->p99 = h.p99;
+    } else if (h.name == "db.commit_critical_path.foreground_us") {
+      out->seg_foreground_us = h.sum_us;
+    } else if (h.name == "db.commit_critical_path.queued_us") {
+      out->seg_queued_us = h.sum_us;
+    } else if (h.name == "db.commit_critical_path.drain_us") {
+      out->seg_drain_us = h.sum_us;
+    } else if (h.name == "db.commit_critical_path.worm_us") {
+      out->seg_worm_us = h.sum_us;
     }
   }
   for (const auto& [name, value] : snapshot.counters) {
@@ -178,20 +205,39 @@ int RunCommitPath(bool async, uint64_t txns, CommitPathResult* out) {
 }
 
 std::string CommitPathJson(const char* label, const CommitPathResult& r) {
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "\"%s\":{\"elapsed_seconds\":%.6f,\"commits\":%llu,"
                 "\"sum_us\":%llu,\"max_us\":%llu,\"p50_us\":%.1f,"
-                "\"p95_us\":%.1f,\"p99_us\":%.1f,\"worm_flushes\":%llu}",
+                "\"p95_us\":%.1f,\"p99_us\":%.1f,\"worm_flushes\":%llu,"
+                "\"segments\":{\"foreground_us\":%llu,\"queued_us\":%llu,"
+                "\"drain_us\":%llu,\"worm_us\":%llu,\"sum_us\":%llu,"
+                "\"vs_commit_us_err_pct\":%.2f}}",
                 label, r.elapsed_seconds,
                 static_cast<unsigned long long>(r.commits),
                 static_cast<unsigned long long>(r.sum_us),
                 static_cast<unsigned long long>(r.max_us), r.p50, r.p95,
-                r.p99, static_cast<unsigned long long>(r.worm_flushes));
+                r.p99, static_cast<unsigned long long>(r.worm_flushes),
+                static_cast<unsigned long long>(r.seg_foreground_us),
+                static_cast<unsigned long long>(r.seg_queued_us),
+                static_cast<unsigned long long>(r.seg_drain_us),
+                static_cast<unsigned long long>(r.seg_worm_us),
+                static_cast<unsigned long long>(r.SegmentsSum()),
+                r.SegmentsErrPct());
   return buf;
 }
 
-int RunCommitPathSweep(uint64_t txns) {
+void PrintSegments(const char* label, const CommitPathResult& r) {
+  std::printf("%8s %14llu %12llu %12llu %12llu %14llu %9.2f%%\n", label,
+              static_cast<unsigned long long>(r.seg_foreground_us),
+              static_cast<unsigned long long>(r.seg_queued_us),
+              static_cast<unsigned long long>(r.seg_drain_us),
+              static_cast<unsigned long long>(r.seg_worm_us),
+              static_cast<unsigned long long>(r.SegmentsSum()),
+              r.SegmentsErrPct());
+}
+
+int RunCommitPathSweep(uint64_t txns, const std::string& trace_path) {
   // The env override would force async for both arms of the A/B.
   ::unsetenv("COMPLYDB_COMPLIANCE_ASYNC");
   std::printf("=== commit path: sync vs async shipping (%llu NewOrder) ===\n",
@@ -200,6 +246,19 @@ int RunCommitPathSweep(uint64_t txns) {
   CommitPathResult sync_r, async_r;
   if (RunCommitPath(/*async=*/false, txns, &sync_r) != 0) return 1;
   if (RunCommitPath(/*async=*/true, txns, &async_r) != 0) return 1;
+
+  // The async arm ran last, so the span/trace rings still hold its
+  // measured region (Warmup resets both before each arm). Export it
+  // before anything else touches the rings.
+  if (!trace_path.empty()) {
+    Status ts = obs::WriteChromeTraceFile(trace_path);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "%s\n", ts.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace artifact: %s (async arm, chrome://tracing)\n",
+                trace_path.c_str());
+  }
 
   std::printf("%8s %10s %10s %10s %10s %12s\n", "mode", "p50_us", "p95_us",
               "p99_us", "max_us", "worm_flushes");
@@ -214,6 +273,12 @@ int RunCommitPathSweep(uint64_t txns) {
   double p95_improvement =
       sync_r.p95 > 0 ? 100.0 * (sync_r.p95 - async_r.p95) / sync_r.p95 : 0;
   std::printf("p95 improvement: %.1f%%\n", p95_improvement);
+
+  std::printf("\ncritical-path decomposition (sum over commits, micros):\n");
+  std::printf("%8s %14s %12s %12s %12s %14s %10s\n", "mode", "foreground",
+              "queued", "drain", "worm_flush", "segments_sum", "vs_total");
+  PrintSegments("sync", sync_r);
+  PrintSegments("async", async_r);
 
   std::string json = "{\"bench\":\"commit_path\",\"txns\":" +
                      std::to_string(txns) + "," +
@@ -382,10 +447,11 @@ int main(int argc, char** argv) {
     return RunReadScalingSweep(ArgOr(argc, argv, 2, 1500));
   }
   if (argc > 1 && std::strcmp(argv[1], "--commit-path") == 0) {
+    std::string trace_path = StripTraceJsonFlag(&argc, argv, "commit_path");
     // 2000 NewOrders grow the database past the 192-page cache, the
     // disk-resident regime where lazy-timestamping reads miss and the
     // sync path pays a WORM round trip per READ_HASH inside commit.
-    return RunCommitPathSweep(ArgOr(argc, argv, 2, 2000));
+    return RunCommitPathSweep(ArgOr(argc, argv, 2, 2000), trace_path);
   }
   std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "fig3_runtime");
   Timer run_timer;

@@ -5,6 +5,7 @@
 // binary prints the same rows/series the paper reports (§VII); absolute
 // numbers differ from the 2009 testbed, the *shapes* are the deliverable.
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 
 #include "db/compliant_db.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "tpcc/workload.h"
 
@@ -109,12 +111,13 @@ struct TpccEnv {
   }
 
   /// Warm-up: runs `n` mix transactions, then zeroes the process-wide
-  /// metrics and the trace ring so the measured region starts clean while
-  /// the buffer cache and WORM files stay warm.
+  /// metrics, the trace ring, and the span ring so the measured region
+  /// starts clean while the buffer cache and WORM files stay warm.
   Status Warmup(uint64_t n) {
     CDB_RETURN_IF_ERROR(RunTxns(n));
     obs::MetricsRegistry::Global().ResetAll();
     obs::TraceRing::Global().Reset();
+    obs::SpanRing::Global().Reset();
     return Status::OK();
   }
 };
@@ -143,6 +146,34 @@ inline std::string StripMetricsJsonFlag(int* argc, char** argv,
     std::string arg = argv[i];
     if (arg == kFlag) {
       path = "BENCH_" + name + ".json";
+    } else if (arg.rfind(kFlag + "=", 0) == 0) {
+      path = arg.substr(kFlag.size() + 1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Strips `--trace-json[=path]` (or `--trace-json <path>`) out of argv
+/// the same way. Returns the Chrome trace_event artifact path (default
+/// `BENCH_<name>_trace.json`) or "" if the flag is absent.
+inline std::string StripTraceJsonFlag(int* argc, char** argv,
+                                      const std::string& name) {
+  const std::string kFlag = "--trace-json";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == kFlag) {
+      // A following non-flag, non-numeric token is the path; a bare flag
+      // (or one followed by a positional count) keeps the default name.
+      path = "BENCH_" + name + "_trace.json";
+      if (i + 1 < *argc && argv[i + 1][0] != '-' &&
+          !std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        path = argv[++i];
+      }
     } else if (arg.rfind(kFlag + "=", 0) == 0) {
       path = arg.substr(kFlag.size() + 1);
     } else {

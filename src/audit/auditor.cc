@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "storage/buffer_cache.h"
 
@@ -55,13 +56,20 @@ AuditMetrics& Am() {
   return m;
 }
 
-// Records one audit-phase timing in both the histogram and the trace ring.
-void RecordPhase(obs::AuditPhase phase, obs::Histogram* hist,
-                 double seconds) {
+// Records one audit-phase timing in the histogram, the trace ring, and
+// the span ring (span causal key = the audited epoch).
+void RecordPhase(obs::AuditPhase phase, obs::Histogram* hist, double seconds,
+                 uint64_t epoch) {
   auto micros = static_cast<uint64_t>(seconds * 1e6);
   hist->Record(micros);
   obs::TraceRing::Global().Emit(obs::TraceEventType::kAuditPhase,
                                 static_cast<uint64_t>(phase), micros);
+  if (obs::SpansEnabled()) {
+    uint64_t end = obs::MonotonicMicros();
+    obs::SpanRing::Global().Emit(obs::SpanKind::kAuditPhase, epoch,
+                                 end > micros ? end - micros : 0, end,
+                                 static_cast<uint64_t>(phase));
+  }
 }
 
 std::string HashBytes(Slice s) {
@@ -105,7 +113,7 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   }
   report.timings.snapshot_seconds = SecondsSince(t0);
   RecordPhase(obs::AuditPhase::kSnapshot, Am().snapshot_us,
-              report.timings.snapshot_seconds);
+              report.timings.snapshot_seconds, epoch);
 
   // ---------------------------------------------------------------- 2.
   // Prepass over L: transaction outcomes, shreds, duplicate/conflict
@@ -192,7 +200,7 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   }
   report.timings.summarize_seconds = SecondsSince(t0);
   RecordPhase(obs::AuditPhase::kSummarize, Am().summarize_us,
-              report.timings.summarize_seconds);
+              report.timings.summarize_seconds, epoch);
 
   // ---------------------------------------------------------------- 3.
   // Single-pass replay of L (the heart of the audit): reconstructs the
@@ -261,7 +269,7 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   report.read_hashes_checked = replayer.read_hashes_checked();
   report.timings.replay_seconds = SecondsSince(t0);
   RecordPhase(obs::AuditPhase::kReplay, Am().replay_us,
-              report.timings.replay_seconds);
+              report.timings.replay_seconds, epoch);
 
   // Tree catalog: snapshot trees plus trees created this epoch.
   std::map<uint32_t, Snapshot::TreeInfo> trees;
@@ -493,7 +501,7 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   }
   report.timings.final_state_seconds = SecondsSince(t0);
   RecordPhase(obs::AuditPhase::kFinalState, Am().final_state_us,
-              report.timings.final_state_seconds);
+              report.timings.final_state_seconds, epoch);
 
   // The on-disk catalog (meta page) is attacker-editable; it must agree
   // with the tree roots recorded on WORM (snapshots + NEW_TREE records),
@@ -580,7 +588,7 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   }
   report.timings.index_check_seconds = SecondsSince(t0);
   RecordPhase(obs::AuditPhase::kIndexCheck, Am().index_check_us,
-              report.timings.index_check_seconds);
+              report.timings.index_check_seconds, epoch);
 
   // ---------------------------------------------------------------- 6.
   // The paper's incremental-hash completeness check (§IV-A):
@@ -892,7 +900,7 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
 
   report.timings.total_seconds = SecondsSince(t_total);
   RecordPhase(obs::AuditPhase::kTotal, Am().total_us,
-              report.timings.total_seconds);
+              report.timings.total_seconds, epoch);
   Am().pages_checked->Inc(report.pages_checked);
   Am().tuples_checked->Inc(report.tuples_checked);
   Am().problems->Inc(report.problems.size());

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace complydb {
@@ -500,6 +501,11 @@ Status Btree::TimeSplitLeaf(PageId leaf_pgno, size_t* freed) {
     }
   }
   if (victims.empty()) return Status::OK();
+
+  // Everything below pays WORM + WAL + observer I/O for the migration;
+  // the span shows it as one block on the migrating thread's track.
+  obs::ScopedSpan migrate_span(obs::SpanKind::kTsbMigrate, tree_id_,
+                               leaf_pgno);
 
   Page hist;
   hist.Format(leaf_pgno, PageType::kBtreeLeaf, tree_id_, 0);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/coding.h"
+#include "obs/span.h"
 
 namespace complydb {
 
@@ -145,7 +146,18 @@ Status ComplianceLog::FlushThrough(uint64_t offset) {
   // derivable from L (RepairStampIndex), so a commit costs one WORM
   // fflush. Readers see the buffered bytes because WormStore::ReadAll
   // drains the append handle first.
+  //
+  // With synchronous shipping this fflush *is* the commit's WORM round
+  // trip; attribute it to the committing thread's worm_flush segment (the
+  // appends themselves stay in foreground — there is no drain to steal).
+  const bool spans =
+      obs::SpansEnabled() && obs::ActiveCommitSegments()->active;
+  const uint64_t flush_start = spans ? obs::MonotonicMicros() : 0;
   CDB_RETURN_IF_ERROR(worm_->FlushAppends(LogFileName(epoch_)));
+  if (spans) {
+    obs::RecordWormFlushInterval(flush_start, obs::MonotonicMicros(),
+                                 /*batch_id=*/0);
+  }
   durable_offset_ = size_;
   return Status::OK();
 }

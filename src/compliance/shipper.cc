@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace complydb {
 
@@ -81,9 +82,16 @@ Status LogShipper::WaitDurable(uint64_t offset) {
     if (draining_) {
       // A drain is in flight (shipper thread or another barrier); wait for
       // it to land, then re-check — it may not have covered our offset.
+      // For a committing thread this wait is the "ring-queued" segment of
+      // its critical path.
+      const bool spans = obs::SpansEnabled();
+      const uint64_t wait_start = spans ? obs::MonotonicMicros() : 0;
       durable_cv_.wait(lock, [&] {
         return !draining_ || durable_offset_ >= offset || !error_.ok();
       });
+      if (spans) {
+        obs::RecordQueuedInterval(wait_start, obs::MonotonicMicros());
+      }
       continue;
     }
     DrainLocked(lock);
@@ -109,10 +117,17 @@ void LogShipper::DrainLocked(std::unique_lock<std::mutex>& lock) {
   index_bytes.swap(pending_index_);
   uint64_t end = appended_offset_;
   uint64_t records = pending_records_;
+  uint64_t batch = ++batch_seq_;
   pending_records_ = 0;
   Sm().queue_depth->Set(0);
   lock.unlock();
 
+  // Span attribution: an inline-stolen drain runs on the committing
+  // thread, so these intervals land in its commit.drain / commit.worm_
+  // flush segments; a window-expiry drain runs here on the shipper thread
+  // and is emitted as shipper.* spans keyed by the batch id instead.
+  const bool spans = obs::SpansEnabled();
+  const uint64_t t_drain = spans ? obs::MonotonicMicros() : 0;
   Status s;
   if (!log_bytes.empty()) s = worm_->AppendUnflushed(log_file_, log_bytes);
   if (s.ok() && !index_bytes.empty()) {
@@ -120,7 +135,13 @@ void LogShipper::DrainLocked(std::unique_lock<std::mutex>& lock) {
     // (reconciled from L on reopen), so a commit pays exactly one fflush.
     s = worm_->AppendUnflushed(index_file_, index_bytes);
   }
+  const uint64_t t_flush = spans ? obs::MonotonicMicros() : 0;
   if (s.ok()) s = worm_->FlushAppends(log_file_);
+  if (spans) {
+    obs::RecordDrainInterval(t_drain, t_flush,
+                             log_bytes.size() + index_bytes.size(), batch);
+    obs::RecordWormFlushInterval(t_flush, obs::MonotonicMicros(), batch);
+  }
   if (s.ok() && records > 0) {
     Sm().flushes->Inc();
     Sm().shipped_bytes->Inc(log_bytes.size() + index_bytes.size());

@@ -90,6 +90,7 @@ class LogShipper {
   uint64_t appended_offset_;  // end offset of everything enqueued
   uint64_t durable_offset_;   // end offset of everything flushed
   uint64_t flush_target_ = 0;  // highest barrier offset requested
+  uint64_t batch_seq_ = 0;     // drains so far; the span causal key
   bool draining_ = false;      // a drainer (thread or barrier) is mid-ship
   Status error_;
   bool stop_ = false;

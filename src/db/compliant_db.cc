@@ -1,6 +1,7 @@
 #include "db/compliant_db.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,8 @@
 #include "db/snapshot_reader.h"
 #include "common/coding.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 
 namespace fs = std::filesystem;
@@ -67,6 +70,27 @@ Status CompliantDB::Init() {
   // Trace events timestamp against the database's clock so they line up
   // with commit times in simulated-clock runs.
   obs::TraceRing::Global().SetClock(clock_);
+
+  // Embedded telemetry endpoint (opt-in). Bind failures are reported but
+  // never fail the open: losing /metrics must not take the database with
+  // it, and the scrape job's non-200 makes the loss visible anyway.
+  uint16_t telemetry_port = options_.telemetry_port;
+  if (const char* env = std::getenv("COMPLYDB_TELEMETRY_PORT")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v <= 65535) {
+      telemetry_port = static_cast<uint16_t>(v);
+    }
+  }
+  if (telemetry_port != 0) {
+    auto server = obs::TelemetryServer::Start(telemetry_port);
+    if (server.ok()) {
+      telemetry_ = std::move(server.value());
+    } else {
+      std::fprintf(stderr, "complydb: telemetry disabled: %s\n",
+                   server.status().ToString().c_str());
+    }
+  }
 
   auto worm = WormStore::Open(options_.dir + "/worm", clock_);
   if (!worm.ok()) return worm.status();
@@ -313,6 +337,7 @@ Status CompliantDB::Init() {
 
 Status CompliantDB::Close() {
   if (closed_) return Status::OK();
+  telemetry_.reset();  // stop serving before the engine winds down
   if (options_.read_only) {
     closed_ = true;  // nothing to flush; never fabricate a CLEAN marker
     return Status::OK();
@@ -560,7 +585,13 @@ Status CompliantDB::Commit(Transaction* txn) {
   // compliance barrier, background stamping, and any regret tick that
   // fires on this call — the tail the async shipper exists to shorten.
   obs::ScopedLatencyTimer timer(Dm().commit_us);
+  // Covers the same window as the timer and decomposes it: the shipper
+  // and WORM layers attribute their intervals to this thread's slot, and
+  // the close emits the commit span plus its foreground/queued/drain/
+  // worm_flush segments (docs/OBSERVABILITY.md, "Spans").
+  obs::ScopedCommitSpan span(txn != nullptr ? txn->id() : 0);
   CDB_RETURN_IF_ERROR(txns_->Commit(txn));
+  span.set_commit_time(txns_->last_commit_time());
   // The background timestamper keeps pace with commits (the regret tick
   // is its hard deadline; this is its steady-state progress). Small
   // per-commit slices instead of periodic bursts: total stamping work is

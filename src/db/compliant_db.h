@@ -21,6 +21,7 @@
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
 #include "wal/wal_io_hook.h"
+#include "obs/telemetry_server.h"
 #include "worm/worm_store.h"
 
 namespace complydb {
@@ -79,6 +80,14 @@ struct DbOptions {
   /// (after recovery) and refuse to open a corrupted database. Cheaper
   /// than a full audit; catches file-editor damage early.
   bool verify_on_open = false;
+
+  /// TCP port for the embedded telemetry endpoint (loopback only;
+  /// /metrics, /metrics.json, /trace, /healthz — see
+  /// docs/OBSERVABILITY.md). 0 = disabled. The COMPLYDB_TELEMETRY_PORT
+  /// environment variable, when set, overrides this; a bind failure is
+  /// logged and the database opens without the endpoint (telemetry never
+  /// blocks the engine).
+  uint16_t telemetry_port = 0;
 
   /// Worker threads for Audit()'s replay/final-state/index-check phases.
   /// 1 = serial reference path; 0 = hardware_concurrency. The
@@ -228,6 +237,8 @@ class CompliantDB {
 
   // --- introspection (tests & benchmarks) ---
   DiskManager* disk() { return disk_.get(); }
+  /// The running telemetry endpoint, or null when disabled / bind failed.
+  obs::TelemetryServer* telemetry() { return telemetry_.get(); }
   BufferCache* cache() { return cache_.get(); }
   LogManager* wal() { return wal_.get(); }
   WormStore* worm() { return worm_.get(); }
@@ -265,6 +276,7 @@ class CompliantDB {
   std::unique_ptr<ExpiryPolicy> expiry_;
   std::unique_ptr<LitigationHolds> holds_;
   std::unique_ptr<Vacuumer> vacuumer_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 
   struct TableInfo {
     uint32_t tree_id = 0;

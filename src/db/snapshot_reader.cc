@@ -10,10 +10,16 @@ namespace {
 struct SnapMetrics {
   obs::Counter* begins;
   obs::Counter* reads;
+  obs::Gauge* open_snapshots;
+  obs::Histogram* get_us;
+  obs::Histogram* scan_us;
   SnapMetrics() {
     auto& reg = obs::MetricsRegistry::Global();
     begins = reg.GetCounter("db.snapshot.begins");
     reads = reg.GetCounter("db.snapshot.reads");
+    open_snapshots = reg.GetGauge("db.open_snapshots");
+    get_us = reg.GetHistogram("db.snapshot.get_us");
+    scan_us = reg.GetHistogram("db.snapshot.scan_us");
   }
 };
 SnapMetrics& Sm() {
@@ -27,10 +33,12 @@ SnapshotReader::SnapshotReader(TransactionManager* txns, HistoricalStore* hist,
     : txns_(txns), hist_(hist), snap_(snap), open_count_(open_count) {
   open_count_->fetch_add(1, std::memory_order_acq_rel);
   Sm().begins->Inc();
+  Sm().open_snapshots->Add(1);
 }
 
 SnapshotReader::~SnapshotReader() {
   open_count_->fetch_sub(1, std::memory_order_acq_rel);
+  Sm().open_snapshots->Add(-1);
 }
 
 bool SnapshotReader::ResolveVisible(const TupleData& v, uint64_t limit,
@@ -55,6 +63,7 @@ Status SnapshotReader::Get(uint32_t table, Slice key,
 
 Status SnapshotReader::GetAsOf(uint32_t table, Slice key, uint64_t time,
                                std::string* value) const {
+  obs::ScopedLatencyTimer timer(Sm().get_us);
   uint64_t limit = std::min(time, snap_);
   Btree* tree = txns_->GetTree(table);
   if (tree == nullptr) return Status::InvalidArgument("unknown table");
@@ -90,6 +99,7 @@ Status SnapshotReader::GetAsOf(uint32_t table, Slice key, uint64_t time,
 Status SnapshotReader::ScanCurrent(
     uint32_t table, Slice begin, Slice end,
     const std::function<Status(const TupleData&)>& fn) const {
+  obs::ScopedLatencyTimer timer(Sm().scan_us);
   Btree* tree = txns_->GetTree(table);
   if (tree == nullptr) return Status::InvalidArgument("unknown table");
   Sm().reads->Inc();

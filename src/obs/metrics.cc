@@ -18,14 +18,29 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
-std::string PromName(const std::string& name) {
+}  // namespace
+
+std::string PromMetricName(const std::string& name) {
   std::string out = "complydb_";
   for (char c : name) {
     out.push_back((c == '.' || c == '-') ? '_' : c);
   }
   return out;
 }
-}  // namespace
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 bool SamplingEnabled() {
   return g_sampling.load(std::memory_order_relaxed);
@@ -202,17 +217,17 @@ std::string MetricsRegistry::ToPrometheusText() const {
   Snapshot snap = TakeSnapshot();
   std::string out;
   for (const auto& [name, v] : snap.counters) {
-    std::string p = PromName(name);
+    std::string p = PromMetricName(name);
     out += "# TYPE " + p + " counter\n";
     out += p + " " + std::to_string(v) + "\n";
   }
   for (const auto& [name, v] : snap.gauges) {
-    std::string p = PromName(name);
+    std::string p = PromMetricName(name);
     out += "# TYPE " + p + " gauge\n";
     out += p + " " + std::to_string(v) + "\n";
   }
   for (const auto& h : snap.histograms) {
-    std::string p = PromName(h.name);
+    std::string p = PromMetricName(h.name);
     out += "# TYPE " + p + " histogram\n";
     uint64_t cumulative = 0;
     for (int i = 0; i < Histogram::kBuckets; ++i) {
@@ -224,9 +239,13 @@ std::string MetricsRegistry::ToPrometheusText() const {
     out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
     out += p + "_sum " + std::to_string(h.sum_us) + "\n";
     out += p + "_count " + std::to_string(h.count) + "\n";
-    out += p + "{quantile=\"0.5\"} " + FormatDouble(h.p50) + "\n";
-    out += p + "{quantile=\"0.95\"} " + FormatDouble(h.p95) + "\n";
-    out += p + "{quantile=\"0.99\"} " + FormatDouble(h.p99) + "\n";
+    // Quantile estimates live in their own gauge family: a histogram
+    // family may only carry _bucket/_sum/_count samples, and a strict
+    // parser (tests/prom_parser.h) rejects anything else.
+    out += "# TYPE " + p + "_quantile gauge\n";
+    out += p + "_quantile{quantile=\"0.5\"} " + FormatDouble(h.p50) + "\n";
+    out += p + "_quantile{quantile=\"0.95\"} " + FormatDouble(h.p95) + "\n";
+    out += p + "_quantile{quantile=\"0.99\"} " + FormatDouble(h.p99) + "\n";
   }
   return out;
 }

@@ -50,6 +50,14 @@ inline uint64_t MonotonicMicros() {
 bool SamplingEnabled();
 void SetSampling(bool enabled);
 
+/// The exporter's metric-name mapping: "complydb_" prefix, '.' and '-'
+/// become '_'. Exposed so tests and the telemetry endpoint agree on it.
+std::string PromMetricName(const std::string& name);
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline gain a backslash.
+std::string PromEscapeLabelValue(const std::string& value);
+
 /// Monotonically increasing event count.
 class Counter {
  public:
@@ -214,7 +222,8 @@ class MetricsRegistry {
   std::string ToJson() const;
 
   /// Prometheus text exposition format ("complydb_" prefix, dots become
-  /// underscores, histograms as <name>_count/_sum plus quantile gauges).
+  /// underscores, histograms as <name>_bucket/_sum/_count plus a separate
+  /// <name>_quantile gauge family for p50/p95/p99).
   std::string ToPrometheusText() const;
 
  private:

@@ -1,0 +1,212 @@
+#ifndef COMPLYDB_OBS_SPAN_H_
+#define COMPLYDB_OBS_SPAN_H_
+
+// Span tracing for the compliance pipeline, layered on the same lock-free
+// ring design as TraceRing. Where trace events are instants, spans are
+// closed intervals [start_us, end_us) carrying a *causal key* — the txn
+// id for commit-path work, the shipper batch id for background drains,
+// the epoch for audit phases — so a slow commit can be decomposed after
+// the fact into where the time actually went:
+//
+//   commit (txn)            — the whole client-visible CompliantDB::Commit
+//     commit.foreground     — engine work on the calling thread (residual)
+//     commit.queued         — blocked on the shipper durability barrier
+//     commit.drain          — WORM appends of an inline-stolen drain
+//     commit.worm_flush     — the fflush / simulated filer round trip
+//
+// The four segment durations are also recorded into the
+// `db.commit_critical_path.{foreground,queued,drain,worm}_us` histogram
+// family when a commit span closes, and always sum exactly to the commit
+// span's duration (foreground is the residual).
+//
+// Propagation is by thread-local CommitSegments: CompliantDB::Commit
+// activates the slot (ScopedCommitSpan); the WAL, shipper, and WORM
+// layers attribute their intervals to it when active. A drain performed
+// by the background shipper thread has no active slot and is emitted as
+// `shipper.drain` / `shipper.worm_flush` spans keyed by batch id instead
+// (the committing thread's wait shows up as commit.queued).
+//
+// Span timestamps are MonotonicMicros (latencies are about the hardware,
+// not the simulated workload clock), so they share a timebase with the
+// latency histograms but *not* with TraceRing events in simulated-clock
+// runs — the Chrome exporter keeps the two on separate process tracks.
+//
+// Everything here compiles out under COMPLYDB_DISABLE_METRICS: Emit and
+// the RAII helpers become empty, and SpansEnabled() is constant-false so
+// call sites skip their clock reads.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace complydb {
+namespace obs {
+
+enum class SpanKind : uint8_t {
+  kCommit = 0,        // causal = txn id, arg = commit time (micros)
+  kCommitForeground,  // causal = txn id; residual (see file comment)
+  kCommitQueued,      // causal = txn id; one barrier wait interval
+  kCommitDrain,       // causal = txn id, arg = bytes appended
+  kCommitWormFlush,   // causal = txn id
+  kCommitTicket,      // causal = txn id; the whole OnCommit group ticket
+  kWalFsync,          // causal = txn id (0 outside a commit), arg = lsn
+  kShipperDrain,      // causal = batch id, arg = bytes appended
+  kShipperWormFlush,  // causal = batch id
+  kAuditPhase,        // causal = epoch, arg = AuditPhase
+  kTsbMigrate,        // causal = tree id, arg = live page id
+  kSpanKindCount,
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct Span {
+  uint64_t seq = 0;  // global emission (close) order
+  uint64_t causal = 0;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  uint64_t arg = 0;
+  SpanKind kind = SpanKind::kCommit;
+  uint32_t tid = 0;  // small dense per-thread id (ThreadTraceId)
+};
+
+/// Small dense id of the calling thread, for span attribution and the
+/// Chrome exporter's tid field. Stable for the thread's lifetime.
+uint32_t ThreadTraceId();
+
+/// Bounded lock-free ring of *closed* spans; same wrap/torn-slot
+/// semantics as TraceRing (diagnostics, not an audit trail).
+class SpanRing {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit SpanRing(size_t capacity = 16384);
+  ~SpanRing();
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  /// The process-wide ring the subsystems emit into.
+  static SpanRing& Global();
+
+  /// Records one closed span. Lock-free; a torn slot is filtered by
+  /// Snapshot's sequence check.
+  void Emit(SpanKind kind, uint64_t causal, uint64_t start_us,
+            uint64_t end_us, uint64_t arg = 0);
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+  /// Total spans ever emitted.
+  uint64_t total() const { return next_.load(std::memory_order_relaxed); }
+  /// Spans overwritten by wraparound.
+  uint64_t dropped() const {
+    uint64_t n = total();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// Copies the retained spans, oldest first.
+  std::vector<Span> Snapshot() const;
+
+  /// Forgets all spans (bench warm-up).
+  void Reset() { next_.store(0, std::memory_order_relaxed); }
+
+ private:
+  struct Slot;
+
+  size_t capacity_;  // power of two
+  Slot* slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+/// True when span emission would actually do something; call sites use it
+/// to skip clock reads on the hot path.
+inline bool SpansEnabled() {
+  return kMetricsCompiledIn && SamplingEnabled() &&
+         SpanRing::Global().enabled();
+}
+
+/// Thread-local accumulator for the commit in flight on this thread.
+/// Activated by ScopedCommitSpan; the shipper/WORM layers add their
+/// measured intervals to it so the close can compute the residual.
+struct CommitSegments {
+  uint64_t txn_id = 0;
+  uint64_t queued_us = 0;
+  uint64_t drain_us = 0;
+  uint64_t worm_us = 0;
+  bool active = false;
+};
+
+/// The calling thread's slot. Never null; check `active`.
+CommitSegments* ActiveCommitSegments();
+
+/// Attribute one measured interval to the active commit (emitting a
+/// commit.* span) or, with no commit on this thread, to the shipper batch
+/// (emitting a shipper.* span keyed by `batch_id`). No-ops when spans are
+/// disabled — callers gate their clock reads on SpansEnabled().
+void RecordQueuedInterval(uint64_t start_us, uint64_t end_us);
+void RecordDrainInterval(uint64_t start_us, uint64_t end_us, uint64_t bytes,
+                         uint64_t batch_id);
+void RecordWormFlushInterval(uint64_t start_us, uint64_t end_us,
+                             uint64_t batch_id);
+
+/// RAII commit span: activates the thread's CommitSegments slot, and on
+/// destruction emits the commit span plus its four segments and records
+/// the db.commit_critical_path.* histograms.
+class ScopedCommitSpan {
+ public:
+  explicit ScopedCommitSpan(uint64_t txn_id);
+  ~ScopedCommitSpan();
+
+  ScopedCommitSpan(const ScopedCommitSpan&) = delete;
+  ScopedCommitSpan& operator=(const ScopedCommitSpan&) = delete;
+
+  /// The commit time becomes the span's arg once known.
+  void set_commit_time(uint64_t commit_time) { arg_ = commit_time; }
+
+ private:
+  bool active_ = false;
+  uint64_t start_us_ = 0;
+  uint64_t arg_ = 0;
+};
+
+/// RAII span for simple bracketed work (WAL fsync, audit phases, TSB
+/// migration). Emits on destruction; `causal`/`arg` may be filled late.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanKind kind, uint64_t causal = 0, uint64_t arg = 0)
+      : kind_(kind),
+        causal_(causal),
+        arg_(arg),
+        start_us_(SpansEnabled() ? MonotonicMicros() : 0) {}
+  ~ScopedSpan() {
+    if (start_us_ != 0) {
+      SpanRing::Global().Emit(kind_, causal_, start_us_, MonotonicMicros(),
+                              arg_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_causal(uint64_t causal) { causal_ = causal; }
+  void set_arg(uint64_t arg) { arg_ = arg; }
+
+ private:
+  SpanKind kind_;
+  uint64_t causal_;
+  uint64_t arg_;
+  uint64_t start_us_;
+};
+
+/// One-line rendering for the shell / debugging.
+std::string FormatSpan(const Span& span);
+
+}  // namespace obs
+}  // namespace complydb
+
+#endif  // COMPLYDB_OBS_SPAN_H_

@@ -1,0 +1,167 @@
+#include "obs/telemetry_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace complydb {
+namespace obs {
+
+namespace {
+// One build-info family with quoted labels rides ahead of the registry
+// dump; scrapers key dashboards off it and it exercises label escaping.
+std::string BuildInfoText() {
+  std::string out = "# TYPE complydb_build_info gauge\n";
+  out += "complydb_build_info{metrics=\"";
+  out += kMetricsCompiledIn ? "on" : "off";
+  out += "\",format=\"";
+  out += PromEscapeLabelValue("text/plain; version=0.0.4");
+  out += "\"} 1\n";
+  return out;
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    content_type +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing to clean up
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+}  // namespace
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("telemetry socket: " +
+                                     std::string(std::strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("telemetry bind port " + std::to_string(port) +
+                               ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s = Status::IOError("telemetry listen: " +
+                               std::string(std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Status::IOError("telemetry getsockname: " +
+                               std::string(std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+
+  auto server = std::unique_ptr<TelemetryServer>(new TelemetryServer());
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->thread_ = std::thread([srv = server.get()] { srv->Loop(); });
+  return server;
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TelemetryServer::Loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // timeout (stop-flag check) or EINTR
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryServer::HandleConnection(int fd) {
+  // Requests of interest are one GET line; 4 KB is generous. A short or
+  // malformed read just yields a 400 — no framing state to corrupt.
+  char buf[4096];
+  ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  std::string request(buf);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  size_t sp1 = request.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : request.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request.substr(0, sp1) != "GET") {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                              "bad request\n"));
+    return;
+  }
+  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  if (path == "/healthz") {
+    WriteAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+  } else if (path == "/metrics") {
+    WriteAll(fd, HttpResponse(
+                     200, "OK", "text/plain; version=0.0.4",
+                     BuildInfoText() +
+                         MetricsRegistry::Global().ToPrometheusText()));
+  } else if (path == "/metrics.json") {
+    WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                              MetricsRegistry::Global().ToJson()));
+  } else if (path == "/trace") {
+    WriteAll(fd,
+             HttpResponse(200, "OK", "application/json", ChromeTraceJson()));
+  } else {
+    WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                              "not found\n"));
+  }
+}
+
+}  // namespace obs
+}  // namespace complydb

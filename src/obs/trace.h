@@ -35,7 +35,7 @@ enum class TraceEventType : uint8_t {
   kAuditPhase,       // a = phase (AuditPhase), b = elapsed micros
   kTsbMigrate,       // a = tree id, b = live page id
   kVacuumShred,      // a = tree id, b = tuples shredded
-  kWormAppend,       // a = bytes, b = total file count (0 if unknown)
+  kWormAppend,       // a = bytes, b = total WORM file count
   kEventTypeCount,
 };
 

@@ -1,0 +1,105 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+namespace complydb {
+namespace obs {
+
+namespace {
+constexpr int kSpanPid = 1;   // span tracks (monotonic timebase)
+constexpr int kEventPid = 2;  // instant events (db-clock timebase)
+
+void AppendU64(std::string* out, uint64_t v) { *out += std::to_string(v); }
+
+void AppendMeta(std::string* out, int pid, const char* name) {
+  *out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  AppendU64(out, static_cast<uint64_t>(pid));
+  *out += ",\"tid\":0,\"args\":{\"name\":\"";
+  *out += name;
+  *out += "\"}}";
+}
+
+void AppendSpan(std::string* out, const Span& s) {
+  *out += "{\"name\":\"";
+  *out += SpanKindName(s.kind);
+  if (s.kind == SpanKind::kAuditPhase) {
+    *out += ".";
+    *out += AuditPhaseName(static_cast<AuditPhase>(s.arg));
+  }
+  *out += "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":";
+  AppendU64(out, s.start_us);
+  *out += ",\"dur\":";
+  AppendU64(out, s.end_us >= s.start_us ? s.end_us - s.start_us : 0);
+  *out += ",\"pid\":";
+  AppendU64(out, kSpanPid);
+  *out += ",\"tid\":";
+  AppendU64(out, s.tid);
+  *out += ",\"args\":{\"causal\":";
+  AppendU64(out, s.causal);
+  *out += ",\"arg\":";
+  AppendU64(out, s.arg);
+  *out += ",\"seq\":";
+  AppendU64(out, s.seq);
+  *out += "}}";
+}
+
+void AppendEvent(std::string* out, const TraceEvent& e) {
+  *out += "{\"name\":\"";
+  *out += TraceEventTypeName(e.type);
+  *out += "\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"p\",\"ts\":";
+  AppendU64(out, e.ts_micros);
+  *out += ",\"pid\":";
+  AppendU64(out, kEventPid);
+  *out += ",\"tid\":0,\"args\":{\"a\":";
+  AppendU64(out, e.a);
+  *out += ",\"b\":";
+  AppendU64(out, e.b);
+  *out += ",\"seq\":";
+  AppendU64(out, e.seq);
+  *out += "}}";
+}
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans,
+                            const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  sep();
+  AppendMeta(&out, kSpanPid, "complydb spans (monotonic us)");
+  if (!events.empty()) {
+    sep();
+    AppendMeta(&out, kEventPid, "complydb trace events (db clock us)");
+  }
+  for (const Span& s : spans) {
+    sep();
+    AppendSpan(&out, s);
+  }
+  for (const TraceEvent& e : events) {
+    sep();
+    AppendEvent(&out, e);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string ChromeTraceJson() {
+  return ChromeTraceJson(SpanRing::Global().Snapshot(),
+                         TraceRing::Global().Snapshot());
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("trace json open " + path);
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) return Status::IOError("trace json write " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace complydb

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace complydb {
@@ -198,6 +199,10 @@ Status TransactionManager::Commit(Transaction* txn) {
   // before it) durable, typically one amortized fflush for many records.
   if (observer_ != nullptr) {
     obs::ScopedLatencyTimer ticket(Tm().commit_observer_us);
+    // The whole group-commit ticket as one span; the shipper splits it
+    // into queued / drain / worm_flush segments underneath.
+    obs::ScopedSpan ticket_span(obs::SpanKind::kCommitTicket, txn->id_,
+                                commit_time);
     CDB_RETURN_IF_ERROR(observer_->OnCommit(txn->id_, commit_time));
   }
 

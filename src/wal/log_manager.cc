@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace complydb {
@@ -99,6 +100,12 @@ Status LogManager::FlushAllLocked() {
   if (pending_.empty()) return Status::OK();
   WalMetrics& wm = Wm();
   obs::ScopedLatencyTimer timer(wm.fsync_us);
+  // Keyed by the committing transaction when one is on this thread (the
+  // group-commit flush point); recovery/checkpoint flushes carry 0.
+  obs::ScopedSpan span(obs::SpanKind::kWalFsync,
+                       obs::ActiveCommitSegments()->active
+                           ? obs::ActiveCommitSegments()->txn_id
+                           : 0);
   if (std::fseek(file_, 0, SEEK_END) != 0) return Status::IOError("wal seek");
   size_t n = std::fwrite(pending_.data(), 1, pending_.size(), file_);
   if (n != pending_.size()) return Status::IOError("wal short write");
@@ -109,6 +116,7 @@ Status LogManager::FlushAllLocked() {
   wm.flushes->Inc();
   wm.flush_bytes->Inc(pending_.size());
   durable_end_ += pending_.size();
+  span.set_arg(durable_end_);
   obs::TraceRing::Global().Emit(obs::TraceEventType::kWalFsync,
                                 pending_.size(), durable_end_);
   pending_.clear();

@@ -180,7 +180,7 @@ Status WormStore::AppendUnflushedLocked(const std::string& name, Slice data) {
   wm.appends->Inc();
   wm.append_bytes->Inc(data.size());
   obs::TraceRing::Global().Emit(obs::TraceEventType::kWormAppend,
-                                data.size());
+                                data.size(), meta_.size());
   // Size is tracked in memory and persisted lazily (dtor / next metadata
   // change); on reopen LoadMeta reconciles against the real file size, so
   // a stale persisted size can only under-count — never mask truncation.

@@ -8,7 +8,10 @@
 #include <vector>
 
 #include "db/compliant_db.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "prom_parser.h"
 #include "tpcc/workload.h"
 
 namespace complydb {
@@ -153,6 +156,87 @@ TEST(RegistryTest, GaugeRoundTrip) {
   EXPECT_EQ(g->Value(), 10);
 }
 
+// --- Prometheus exposition ----------------------------------------------
+
+TEST(PromExportTest, EscapeLabelValue) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PromEscapeLabelValue("two\nlines"), "two\\nlines");
+  EXPECT_EQ(PromEscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PromExportTest, MetricNameSanitization) {
+  EXPECT_EQ(PromMetricName("db.commit_us"), "complydb_db_commit_us");
+  EXPECT_EQ(PromMetricName("a-b.c"), "complydb_a_b_c");
+}
+
+TEST(PromExportTest, StrictParserAcceptsRegistryOutput) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test.prom_counter")->Inc(3);
+  reg.GetGauge("obs_test.prom_gauge")->Set(-2);
+  Histogram* h = reg.GetHistogram("obs_test.prom_us");
+  for (uint64_t v : {1ull, 5ull, 100ull, 10000ull}) h->Record(v);
+
+  testutil::PromParser parser;
+  ASSERT_TRUE(parser.Parse(reg.ToPrometheusText())) << parser.error();
+
+  auto& fams = parser.families();
+  auto counter = fams.find("complydb_obs_test_prom_counter");
+  ASSERT_NE(counter, fams.end());
+  EXPECT_EQ(counter->second.type, "counter");
+  EXPECT_GE(parser.Value("complydb_obs_test_prom_counter"), 3.0);
+
+  auto gauge = fams.find("complydb_obs_test_prom_gauge");
+  ASSERT_NE(gauge, fams.end());
+  EXPECT_EQ(gauge->second.type, "gauge");
+  EXPECT_DOUBLE_EQ(parser.Value("complydb_obs_test_prom_gauge"), -2.0);
+
+  auto hist = fams.find("complydb_obs_test_prom_us");
+  ASSERT_NE(hist, fams.end());
+  EXPECT_EQ(hist->second.type, "histogram");
+  // Quantiles live in a separate gauge family, not inside the histogram.
+  auto quant = fams.find("complydb_obs_test_prom_us_quantile");
+  ASSERT_NE(quant, fams.end());
+  EXPECT_EQ(quant->second.type, "gauge");
+  EXPECT_EQ(quant->second.samples.size(), 3u);  // p50/p95/p99
+}
+
+TEST(PromExportTest, StrictParserRejectsMalformedInput) {
+  testutil::PromParser p;
+  // Sample without a preceding TYPE.
+  EXPECT_FALSE(p.Parse("orphan_metric 1\n"));
+  // Unknown type keyword.
+  EXPECT_FALSE(p.Parse("# TYPE m widget\nm 1\n"));
+  // Negative counter.
+  EXPECT_FALSE(p.Parse("# TYPE m counter\nm -1\n"));
+  // Bad escape in a label value.
+  EXPECT_FALSE(p.Parse("# TYPE m gauge\nm{l=\"a\\t\"} 1\n"));
+  // Unterminated label set.
+  EXPECT_FALSE(p.Parse("# TYPE m gauge\nm{l=\"a\" 1\n"));
+  // Histogram bucket counts must be cumulative.
+  EXPECT_FALSE(p.Parse(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n"));
+  // +Inf bucket must equal _count.
+  EXPECT_FALSE(p.Parse(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 6\n"));
+  // le bounds must increase.
+  EXPECT_FALSE(p.Parse(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\n"
+      "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"));
+  // A well-formed histogram passes.
+  EXPECT_TRUE(p.Parse(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\nh_bucket{le=\"4\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 4\nh_sum 11\nh_count 4\n"))
+      << p.error();
+}
+
 // --- TraceRing ----------------------------------------------------------
 
 TEST(TraceRingTest, Wraparound) {
@@ -211,6 +295,213 @@ TEST(TraceRingTest, FormatNamesEveryEventType) {
     EXPECT_EQ(line.find('?'), std::string::npos)
         << "unnamed event type " << i;
   }
+}
+
+// --- SpanRing / commit decomposition ------------------------------------
+
+TEST(SpanRingTest, WraparoundKeepsNewest) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "span emission compiled out";
+  SpanRing ring(32);
+  EXPECT_EQ(ring.capacity(), 32u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ring.Emit(SpanKind::kWalFsync, /*causal=*/i, /*start_us=*/i * 10,
+              /*end_us=*/i * 10 + 5, /*arg=*/i);
+  }
+  EXPECT_EQ(ring.total(), 100u);
+  EXPECT_EQ(ring.dropped(), 100u - 32u);
+  auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 32u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, 68 + i);
+    EXPECT_EQ(spans[i].causal, 68 + i);
+    EXPECT_EQ(spans[i].end_us - spans[i].start_us, 5u);
+  }
+}
+
+TEST(SpanRingTest, DisabledEmitsNothing) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "span emission compiled out";
+  SpanRing ring(16);
+  ring.SetEnabled(false);
+  ring.Emit(SpanKind::kCommit, 1, 10, 20);
+  EXPECT_EQ(ring.total(), 0u);
+  ring.SetEnabled(true);
+  ring.Emit(SpanKind::kCommit, 1, 10, 20);
+  EXPECT_EQ(ring.total(), 1u);
+}
+
+TEST(SpanRingTest, ConcurrentEmitsAreRaceFree) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "span emission compiled out";
+  SpanRing ring(256);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Emit(SpanKind::kShipperDrain, t, i, i + 1);
+      }
+    });
+  }
+  for (int i = 0; i < 10; ++i) (void)ring.Snapshot();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.total(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(ring.Snapshot().size(), ring.capacity());
+}
+
+TEST(SpanTest, NamesEverySpanKind) {
+  for (int i = 0; i < static_cast<int>(SpanKind::kSpanKindCount); ++i) {
+    Span s;
+    s.kind = static_cast<SpanKind>(i);
+    std::string line = FormatSpan(s);
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.find('?'), std::string::npos) << "unnamed span kind " << i;
+  }
+}
+
+TEST(SpanTest, CommitDecompositionSumsToTotal) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  auto& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  SpanRing::Global().Reset();
+  {
+    ScopedCommitSpan span(/*txn_id=*/42);
+    span.set_commit_time(777);
+    // Simulate the shipper layers attributing intervals to this commit.
+    // The attributed time must fit inside the real elapsed span (the
+    // residual only clamps when attribution exceeds the total), so burn
+    // real wall time before closing.
+    uint64_t t0 = MonotonicMicros();
+    RecordQueuedInterval(t0, t0 + 100);
+    RecordDrainInterval(t0 + 100, t0 + 150, /*bytes=*/64, /*batch_id=*/9);
+    RecordWormFlushInterval(t0 + 150, t0 + 200, /*batch_id=*/9);
+    while (MonotonicMicros() - t0 < 300) {
+      std::this_thread::yield();
+    }
+  }
+  auto spans = SpanRing::Global().Snapshot();
+  const Span* commit = nullptr;
+  uint64_t seg_sum = 0;
+  int segments = 0;
+  for (const auto& s : spans) {
+    if (s.kind == SpanKind::kCommit) {
+      commit = &s;
+      EXPECT_EQ(s.causal, 42u);
+      EXPECT_EQ(s.arg, 777u);
+    } else if (s.kind == SpanKind::kCommitForeground ||
+               s.kind == SpanKind::kCommitQueued ||
+               s.kind == SpanKind::kCommitDrain ||
+               s.kind == SpanKind::kCommitWormFlush) {
+      EXPECT_EQ(s.causal, 42u);
+      seg_sum += s.end_us - s.start_us;
+      ++segments;
+    }
+  }
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(segments, 4);
+  EXPECT_EQ(seg_sum, commit->end_us - commit->start_us);
+
+  // The four critical-path histograms each saw exactly this commit, and
+  // their sums reproduce the same identity.
+  uint64_t hist_sum = 0;
+  for (const char* name :
+       {"db.commit_critical_path.foreground_us",
+        "db.commit_critical_path.queued_us",
+        "db.commit_critical_path.drain_us",
+        "db.commit_critical_path.worm_us"}) {
+    Histogram* h = reg.GetHistogram(name);
+    EXPECT_EQ(h->Count(), 1u) << name;
+    hist_sum += h->SumMicros();
+  }
+  EXPECT_EQ(hist_sum, commit->end_us - commit->start_us);
+  EXPECT_EQ(reg.GetHistogram("db.commit_critical_path.queued_us")
+                ->SumMicros(),
+            100u);
+  EXPECT_EQ(reg.GetHistogram("db.commit_critical_path.drain_us")->SumMicros(),
+            50u);
+  EXPECT_EQ(reg.GetHistogram("db.commit_critical_path.worm_us")->SumMicros(),
+            50u);
+}
+
+TEST(SpanTest, UnattributedIntervalsBecomeShipperSpans) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  SpanRing::Global().Reset();
+  ASSERT_FALSE(ActiveCommitSegments()->active);
+  uint64_t now = MonotonicMicros();
+  RecordDrainInterval(now - 90, now - 50, /*bytes=*/128, /*batch_id=*/7);
+  RecordWormFlushInterval(now - 50, now - 10, /*batch_id=*/7);
+  auto spans = SpanRing::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kShipperDrain);
+  EXPECT_EQ(spans[0].causal, 7u);
+  EXPECT_EQ(spans[0].arg, 128u);
+  EXPECT_EQ(spans[1].kind, SpanKind::kShipperWormFlush);
+  EXPECT_EQ(spans[1].causal, 7u);
+}
+
+// --- Chrome trace export ------------------------------------------------
+
+TEST(TraceExportTest, EmitsValidChromeJson) {
+  std::vector<Span> spans;
+  Span s;
+  s.seq = 1;
+  s.kind = SpanKind::kCommit;
+  s.causal = 5;
+  s.start_us = 1000;
+  s.end_us = 1400;
+  s.arg = 99;
+  s.tid = 3;
+  spans.push_back(s);
+  s.seq = 2;
+  s.kind = SpanKind::kAuditPhase;
+  s.causal = 2;
+  s.arg = static_cast<uint64_t>(AuditPhase::kReplay);
+  spans.push_back(s);
+
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.seq = 1;
+  e.ts_micros = 1100;
+  e.type = TraceEventType::kTxnCommit;
+  e.a = 5;
+  events.push_back(e);
+
+  std::string json = ChromeTraceJson(spans, events);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The commit span: a complete event with duration 400 us.
+  EXPECT_NE(json.find("\"name\":\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":400"), std::string::npos);
+  // The audit span names its phase; the trace event renders as an instant.
+  EXPECT_NE(json.find("audit.phase.replay"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Braces and brackets balance (cheap structural sanity, no JSON lib).
+  int depth = 0, sq = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '[') ++sq;
+    if (c == ']') --sq;
+    EXPECT_GE(depth, 0);
+    EXPECT_GE(sq, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(sq, 0);
 }
 
 // --- integration: a TPC-C run populates the pipeline metrics ------------
@@ -282,6 +573,8 @@ TEST(ObsIntegrationTest, TpccRunProducesPipelineMetrics) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   std::string prom = db->DumpMetricsPrometheus();
   EXPECT_NE(prom.find("complydb_wal_fsyncs"), std::string::npos);
+  testutil::PromParser parser;
+  EXPECT_TRUE(parser.Parse(prom)) << parser.error();
 
   ASSERT_TRUE(db->Close().ok());
 }

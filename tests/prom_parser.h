@@ -1,0 +1,339 @@
+#ifndef COMPLYDB_TESTS_PROM_PARSER_H_
+#define COMPLYDB_TESTS_PROM_PARSER_H_
+
+// Strict Prometheus text-exposition (version 0.0.4) parser, for tests
+// only. It enforces the rules a real scraper relies on, so a regression
+// in the exporter fails here rather than in someone's monitoring stack:
+//
+//  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+//    [a-zA-Z_][a-zA-Z0-9_]*
+//  - label values are double-quoted with exactly \\, \" and \n escapes
+//  - `# TYPE` appears at most once per family, before any of its samples
+//  - a `counter` / `gauge` family carries only samples of its own name;
+//    counters are non-negative
+//  - a `histogram` family carries only `_bucket` / `_sum` / `_count`
+//    samples; every bucket series has an `le` label, the le values are
+//    strictly increasing, the cumulative counts are non-decreasing, the
+//    `+Inf` bucket exists and equals `_count`, and `_sum` is present
+//
+// Parse() returns false with a one-line error naming the offending line.
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace complydb {
+namespace testutil {
+
+struct PromSample {
+  std::string name;                                  // full sample name
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+  int line = 0;
+};
+
+struct PromFamily {
+  std::string name;  // base family name (without _bucket/_sum/_count)
+  std::string type;  // counter | gauge | histogram | summary | untyped
+  std::vector<PromSample> samples;
+};
+
+class PromParser {
+ public:
+  /// Parses and validates `text`. On failure returns false and sets
+  /// `error()` to a message with the 1-based line number.
+  bool Parse(const std::string& text) {
+    families_.clear();
+    error_.clear();
+    int line_no = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) {
+        if (pos == text.size()) break;
+        eol = text.size();
+      }
+      ++line_no;
+      std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (!ParseLine(line, line_no)) return false;
+    }
+    for (auto& [name, fam] : families_) {
+      if (!ValidateFamily(fam)) return false;
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  const std::map<std::string, PromFamily>& families() const {
+    return families_;
+  }
+
+  /// The parsed value of a plain (label-free) sample, or NaN if absent.
+  double Value(const std::string& sample_name) const {
+    for (const auto& [name, fam] : families_) {
+      for (const auto& s : fam.samples) {
+        if (s.name == sample_name && s.labels.empty()) return s.value;
+      }
+    }
+    return std::nan("");
+  }
+
+ private:
+  static bool IsNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || (c >= '0' && c <= '9');
+  }
+  static bool ValidName(const std::string& s) {
+    if (s.empty() || !IsNameStart(s[0])) return false;
+    for (char c : s) {
+      if (!IsNameChar(c)) return false;
+    }
+    return true;
+  }
+  static bool ValidLabelName(const std::string& s) {
+    // Like a metric name but without ':'.
+    if (!ValidName(s)) return false;
+    return s.find(':') == std::string::npos;
+  }
+
+  bool Fail(int line_no, const std::string& msg) {
+    error_ = "line " + std::to_string(line_no) + ": " + msg;
+    return false;
+  }
+
+  /// Family a sample belongs to: for histogram suffixes, the base name.
+  PromFamily* FamilyFor(const std::string& sample_name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      std::string sfx = suffix;
+      if (sample_name.size() > sfx.size() &&
+          sample_name.compare(sample_name.size() - sfx.size(), sfx.size(),
+                              sfx) == 0) {
+        std::string base = sample_name.substr(0, sample_name.size() -
+                                                     sfx.size());
+        auto it = families_.find(base);
+        if (it != families_.end() && it->second.type == "histogram") {
+          return &it->second;
+        }
+      }
+    }
+    auto it = families_.find(sample_name);
+    return it != families_.end() ? &it->second : nullptr;
+  }
+
+  bool ParseLine(const std::string& line, int line_no) {
+    if (line.empty()) return true;
+    if (line[0] == '#') return ParseComment(line, line_no);
+    return ParseSample(line, line_no);
+  }
+
+  bool ParseComment(const std::string& line, int line_no) {
+    // "# TYPE <name> <type>" | "# HELP <name> <text>" | free comment.
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) return Fail(line_no, "malformed TYPE");
+      std::string name = rest.substr(0, sp);
+      std::string type = rest.substr(sp + 1);
+      if (!ValidName(name)) return Fail(line_no, "bad name in TYPE: " + name);
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        return Fail(line_no, "unknown type: " + type);
+      }
+      auto [it, inserted] = families_.emplace(name, PromFamily{name, type, {}});
+      if (!inserted) {
+        return Fail(line_no, "duplicate or late TYPE for " + name);
+      }
+      return true;
+    }
+    return true;  // HELP and free-form comments
+  }
+
+  bool ParseSample(const std::string& line, int line_no) {
+    PromSample sample;
+    sample.line = line_no;
+    size_t i = 0;
+    while (i < line.size() && IsNameChar(line[i])) ++i;
+    sample.name = line.substr(0, i);
+    if (!ValidName(sample.name)) {
+      return Fail(line_no, "bad metric name");
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      if (!ParseLabels(line, &i, &sample, line_no)) return false;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return Fail(line_no, "expected space before value");
+    }
+    ++i;
+    std::string value_str = line.substr(i);
+    // Optional timestamp after the value.
+    size_t sp = value_str.find(' ');
+    std::string ts;
+    if (sp != std::string::npos) {
+      ts = value_str.substr(sp + 1);
+      value_str = value_str.substr(0, sp);
+    }
+    char* end = nullptr;
+    sample.value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0') {
+      return Fail(line_no, "bad sample value: " + value_str);
+    }
+    if (!ts.empty()) {
+      (void)std::strtoll(ts.c_str(), &end, 10);
+      if (*end != '\0') return Fail(line_no, "bad timestamp: " + ts);
+    }
+
+    PromFamily* fam = FamilyFor(sample.name);
+    if (fam == nullptr) {
+      return Fail(line_no, "sample before TYPE: " + sample.name);
+    }
+    if (fam->type == "counter" || fam->type == "gauge") {
+      if (sample.name != fam->name) {
+        return Fail(line_no, "sample name mismatch for " + fam->name);
+      }
+      if (fam->type == "counter" && sample.value < 0) {
+        return Fail(line_no, "negative counter " + sample.name);
+      }
+    }
+    fam->samples.push_back(std::move(sample));
+    return true;
+  }
+
+  bool ParseLabels(const std::string& line, size_t* i, PromSample* sample,
+                   int line_no) {
+    while (*i < line.size() && line[*i] != '}') {
+      size_t start = *i;
+      while (*i < line.size() && IsNameChar(line[*i])) ++*i;
+      std::string lname = line.substr(start, *i - start);
+      if (!ValidLabelName(lname)) {
+        return Fail(line_no, "bad label name: " + lname);
+      }
+      if (*i >= line.size() || line[*i] != '=') {
+        return Fail(line_no, "expected = after label " + lname);
+      }
+      ++*i;
+      if (*i >= line.size() || line[*i] != '"') {
+        return Fail(line_no, "label value must be quoted");
+      }
+      ++*i;
+      std::string lvalue;
+      while (*i < line.size() && line[*i] != '"') {
+        char c = line[*i];
+        if (c == '\\') {
+          ++*i;
+          if (*i >= line.size()) return Fail(line_no, "dangling escape");
+          char e = line[*i];
+          if (e == '\\') {
+            lvalue += '\\';
+          } else if (e == '"') {
+            lvalue += '"';
+          } else if (e == 'n') {
+            lvalue += '\n';
+          } else {
+            return Fail(line_no, std::string("bad escape \\") + e);
+          }
+        } else if (c == '\n') {
+          return Fail(line_no, "raw newline in label value");
+        } else {
+          lvalue += c;
+        }
+        ++*i;
+      }
+      if (*i >= line.size()) return Fail(line_no, "unterminated label value");
+      ++*i;  // closing quote
+      sample->labels.emplace_back(lname, lvalue);
+      if (*i < line.size() && line[*i] == ',') ++*i;
+    }
+    if (*i >= line.size()) return Fail(line_no, "unterminated label set");
+    ++*i;  // closing brace
+    return true;
+  }
+
+  bool ValidateFamily(PromFamily& fam) {
+    if (fam.type != "histogram") return true;
+    // Group bucket samples by their non-le labels; here the exporter
+    // emits a single unlabeled series per family, but validate generally.
+    double count = std::nan("");
+    bool has_sum = false;
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool has_inf = false;
+    for (const auto& s : fam.samples) {
+      if (s.name == fam.name + "_sum") {
+        has_sum = true;
+      } else if (s.name == fam.name + "_count") {
+        count = s.value;
+      } else if (s.name == fam.name + "_bucket") {
+        const std::string* le = nullptr;
+        for (const auto& [k, v] : s.labels) {
+          if (k == "le") le = &v;
+        }
+        if (le == nullptr) {
+          error_ = fam.name + "_bucket missing le label (line " +
+                   std::to_string(s.line) + ")";
+          return false;
+        }
+        double bound;
+        if (*le == "+Inf") {
+          bound = std::numeric_limits<double>::infinity();
+          has_inf = true;
+        } else {
+          char* end = nullptr;
+          bound = std::strtod(le->c_str(), &end);
+          if (end == le->c_str() || *end != '\0') {
+            error_ = fam.name + ": bad le value " + *le;
+            return false;
+          }
+        }
+        buckets.emplace_back(bound, s.value);
+      } else {
+        error_ = fam.name + ": stray histogram sample " + s.name;
+        return false;
+      }
+    }
+    for (size_t i = 1; i < buckets.size(); ++i) {
+      if (buckets[i].first <= buckets[i - 1].first) {
+        error_ = fam.name + ": le bounds not increasing";
+        return false;
+      }
+      if (buckets[i].second < buckets[i - 1].second) {
+        error_ = fam.name + ": bucket counts not cumulative";
+        return false;
+      }
+    }
+    if (!buckets.empty() || !std::isnan(count)) {
+      if (!has_inf) {
+        error_ = fam.name + ": missing +Inf bucket";
+        return false;
+      }
+      if (std::isnan(count)) {
+        error_ = fam.name + ": missing _count";
+        return false;
+      }
+      if (!has_sum) {
+        error_ = fam.name + ": missing _sum";
+        return false;
+      }
+      if (buckets.back().second != count) {
+        error_ = fam.name + ": +Inf bucket != _count";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::map<std::string, PromFamily> families_;
+  std::string error_;
+};
+
+}  // namespace testutil
+}  // namespace complydb
+
+#endif  // COMPLYDB_TESTS_PROM_PARSER_H_

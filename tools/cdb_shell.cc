@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "db/compliant_db.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 using namespace complydb;
 
@@ -40,7 +42,12 @@ constexpr char kHelp[] =
     "cores)\n"
     "  stats                          engine statistics\n"
     "  metrics [prom]                 metrics registry (JSON or Prometheus)\n"
-    "  trace [n]                      newest n trace events (default 20)\n"
+    "  trace [--type <t>] [--txn <id>] [--last n]\n"
+    "                                 newest matching trace events "
+    "(default 20)\n"
+    "  trace export <file>            Chrome trace_event JSON (spans +\n"
+    "                                 events) for chrome://tracing\n"
+    "  spans [--last n]               newest closed spans (default 20)\n"
     "  help | quit\n";
 
 std::vector<std::string> Tokenize(const std::string& line) {
@@ -233,18 +240,79 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%s\n", db->DumpMetricsJson().c_str());
       }
+    } else if (cmd == "trace" && args.size() >= 2 && args[1] == "export") {
+      if (args.size() != 3) {
+        std::printf("usage: trace export <file>\n");
+        continue;
+      }
+      Status s = obs::WriteChromeTraceFile(args[2]);
+      if (s.ok()) {
+        std::printf("wrote %s (open in chrome://tracing or "
+                    "ui.perfetto.dev)\n", args[2].c_str());
+      } else {
+        PrintStatus(s);
+      }
     } else if (cmd == "trace") {
-      size_t n = args.size() >= 2
-                     ? std::strtoull(args[1].c_str(), nullptr, 10)
-                     : 20;
+      // trace [--type <name>] [--txn <id>] [--last n]; a bare number is
+      // the legacy spelling of --last.
+      size_t n = 20;
+      std::string type_filter;
+      uint64_t txn_filter = 0;
+      bool have_txn = false;
+      bool bad = false;
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--type" && i + 1 < args.size()) {
+          type_filter = args[++i];
+        } else if (args[i] == "--txn" && i + 1 < args.size()) {
+          txn_filter = std::strtoull(args[++i].c_str(), nullptr, 10);
+          have_txn = true;
+        } else if (args[i] == "--last" && i + 1 < args.size()) {
+          n = std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else if (args[i].find_first_not_of("0123456789") ==
+                   std::string::npos) {
+          n = std::strtoull(args[i].c_str(), nullptr, 10);
+        } else {
+          std::printf("trace: unrecognized '%s'\n", args[i].c_str());
+          bad = true;
+          break;
+        }
+      }
+      if (bad) continue;
       auto& ring = obs::TraceRing::Global();
       auto events = ring.Snapshot();
-      size_t start = events.size() > n ? events.size() - n : 0;
-      for (size_t i = start; i < events.size(); ++i) {
-        std::printf("%s\n", obs::FormatTraceEvent(events[i]).c_str());
+      std::vector<const obs::TraceEvent*> matched;
+      for (const auto& e : events) {
+        if (!type_filter.empty() &&
+            type_filter != obs::TraceEventTypeName(e.type)) {
+          continue;
+        }
+        // Every txn-keyed event type carries the txn id in `a`.
+        if (have_txn && e.a != txn_filter) continue;
+        matched.push_back(&e);
+      }
+      size_t start = matched.size() > n ? matched.size() - n : 0;
+      for (size_t i = start; i < matched.size(); ++i) {
+        std::printf("%s\n", obs::FormatTraceEvent(*matched[i]).c_str());
+      }
+      std::printf("(%zu shown of %zu matched, %llu total, %llu dropped)\n",
+                  matched.size() - start, matched.size(),
+                  static_cast<unsigned long long>(ring.total()),
+                  static_cast<unsigned long long>(ring.dropped()));
+    } else if (cmd == "spans") {
+      size_t n = 20;
+      if (args.size() >= 3 && args[1] == "--last") {
+        n = std::strtoull(args[2].c_str(), nullptr, 10);
+      } else if (args.size() >= 2) {
+        n = std::strtoull(args[1].c_str(), nullptr, 10);
+      }
+      auto& ring = obs::SpanRing::Global();
+      auto spans = ring.Snapshot();
+      size_t start = spans.size() > n ? spans.size() - n : 0;
+      for (size_t i = start; i < spans.size(); ++i) {
+        std::printf("%s\n", obs::FormatSpan(spans[i]).c_str());
       }
       std::printf("(%zu shown, %llu total, %llu dropped)\n",
-                  events.size() - start,
+                  spans.size() - start,
                   static_cast<unsigned long long>(ring.total()),
                   static_cast<unsigned long long>(ring.dropped()));
     } else {

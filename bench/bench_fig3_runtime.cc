@@ -25,14 +25,28 @@
 // BENCH_read_scaling.seed.json).
 //
 //   ./bench_fig3_runtime --read-threads [window_ms]
+//
+// With --write-threads the binary runs the multi-writer commit-pipeline
+// sweep: the same full-mix slot schedule (RunMixConcurrent, pure function
+// of the seed) executed by N = 1, 2, 4 writer threads against the
+// simulated network WORM filer. The pipeline amortizes the WORM round
+// trip across an epoch, so commit throughput scales while the compliance
+// log stays byte-identical — the sweep verifies both and writes
+// BENCH_write_scaling.json (baseline: bench/baselines/
+// BENCH_write_scaling.seed.json).
+//
+//   ./bench_fig3_runtime --write-threads [slots]
 
 #include <atomic>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "compliance/compliance_log.h"
 #include "obs/trace_export.h"
 
 using namespace complydb;
@@ -440,11 +454,201 @@ int RunReadScalingSweep(uint64_t window_ms) {
   return 0;
 }
 
+struct WriteScalingResult {
+  uint32_t write_threads = 0;
+  double elapsed_seconds = 0;
+  uint64_t commits = 0;
+  double commits_per_sec = 0;
+  uint64_t epochs = 0;
+  double sequence_p95_us = 0;
+  double epoch_flush_p95_us = 0;
+  uint64_t latch_acquires = 0;
+  uint64_t latch_waits = 0;
+  uint64_t worm_flushes = 0;
+  uint64_t rollbacks = 0;
+  size_t log_bytes = 0;
+  bool log_identical = true;
+  bool audit_ok = false;
+  std::string log_content;  // compared across points, not serialized
+};
+
+int RunWriteScalingPoint(uint32_t write_threads, uint64_t slots,
+                         WriteScalingResult* out) {
+  tpcc::Scale scale;
+  scale.warehouses = 2;
+  // The commit-path regime, multi-writer edition: a large cache keeps
+  // evictions (whose dependent-pwrite barriers would serialize inside the
+  // turnstile) rare, the 100 us WORM flush models the network filer round
+  // trip, and the 10 ms group-commit window means every flush is an
+  // epoch barrier, never a timer expiry. At write_threads=1 each commit
+  // pays its own round trip (durable-on-return through the shipper); the
+  // pipeline instead closes a slot with one barrier per *epoch*, so N
+  // writers share a flush and overlap their waits — that amortization is
+  // the speedup under measurement, CPU count notwithstanding.
+  auto env = TpccEnv::Create(BenchDir("write_scaling"), Mode::kLogConsistent,
+                             /*cache_pages=*/2048, scale, /*seed=*/1234,
+                             /*tsb=*/false, /*tsb_threshold=*/0.5,
+                             /*io_latency_micros=*/0, /*async_shipping=*/true,
+                             /*worm_flush_latency_micros=*/1000,
+                             /*group_commit_window_micros=*/10000,
+                             write_threads);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+  if (!env.value().Warmup(200).ok()) return 1;
+
+  tpcc::MixStats stats;
+  uint64_t per_slot = 5 * kMinute / 500;
+  Timer timer;
+  Status s = env.value().workload->RunMixConcurrent(
+      slots, write_threads, env.value().clock.get(), per_slot, &stats);
+  out->elapsed_seconds = timer.Seconds();
+  if (!s.ok()) {
+    std::fprintf(stderr, "mix failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  out->write_threads = write_threads;
+  out->rollbacks = stats.rollbacks;
+  auto snapshot = obs::MetricsRegistry::Global().TakeSnapshot();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "db.commit_us") {
+      out->commits = h.count;
+    } else if (h.name == "db.commit_critical_path.sequence_us") {
+      out->sequence_p95_us = h.p95;
+    } else if (h.name == "txn.epoch.flush_us") {
+      out->epoch_flush_p95_us = h.p95;
+    }
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "txn.epoch.count") out->epochs = value;
+    if (name == "txn.partition.latch_acquires") out->latch_acquires = value;
+    if (name == "txn.partition.latch_waits") out->latch_waits = value;
+    if (name == "worm.flushes") out->worm_flushes = value;
+  }
+  if (::getenv("WRITE_SCALING_DEBUG") != nullptr) {
+    for (const auto& [name, value] : snapshot.counters) {
+      if (value > 0) std::printf("  [ctr] %-36s %llu\n", name.c_str(),
+                                 (unsigned long long)value);
+    }
+  }
+  out->commits_per_sec =
+      out->elapsed_seconds > 0 ? out->commits / out->elapsed_seconds : 0;
+
+  // Capture L before the audit supersedes this epoch's files: the
+  // byte-identity assertion is the whole point of the sequencer.
+  if (!env.value().db->FlushAll().ok()) return 1;
+  std::ifstream log_in(BenchDir("write_scaling") + "/worm/" + LogFileName(0),
+                       std::ios::binary);
+  out->log_content.assign(std::istreambuf_iterator<char>(log_in),
+                          std::istreambuf_iterator<char>());
+  out->log_bytes = out->log_content.size();
+
+  auto report = env.value().db->Audit();
+  out->audit_ok = report.ok() && report.value().ok();
+  if (!out->audit_ok) {
+    std::fprintf(stderr, "audit failed at write_threads=%u: %s\n",
+                 write_threads,
+                 report.ok() ? report.value().problems[0].c_str()
+                             : report.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int RunWriteScalingSweep(uint64_t slots) {
+  std::printf("=== write scaling: N pipeline writers, full mix "
+              "(%llu slots) ===\n",
+              static_cast<unsigned long long>(slots));
+  std::printf("%13s %10s %9s %12s %8s %12s %12s %10s %8s %9s\n",
+              "write_threads", "elapsed_s", "commits", "commits_per_s",
+              "epochs", "seq_p95_us", "worm_flushes", "latch_wait",
+              "L_bytes", "speedup");
+
+  std::vector<WriteScalingResult> sweep;
+  bool all_identical = true;
+  bool all_audits_ok = true;
+  for (uint32_t n : {1u, 2u, 4u}) {
+    WriteScalingResult r;
+    if (RunWriteScalingPoint(n, slots, &r) != 0) return 1;
+    if (!sweep.empty()) {
+      r.log_identical = r.log_content == sweep.front().log_content;
+      all_identical = all_identical && r.log_identical;
+    }
+    all_audits_ok = all_audits_ok && r.audit_ok;
+    double speedup = sweep.empty()
+                         ? 1.0
+                         : r.commits_per_sec / sweep.front().commits_per_sec;
+    std::printf("%13u %10.3f %9llu %12.1f %8llu %12.1f %12llu %10llu %8zu "
+                "%8.2fx\n",
+                r.write_threads, r.elapsed_seconds,
+                static_cast<unsigned long long>(r.commits), r.commits_per_sec,
+                static_cast<unsigned long long>(r.epochs), r.sequence_p95_us,
+                static_cast<unsigned long long>(r.worm_flushes),
+                static_cast<unsigned long long>(r.latch_waits), r.log_bytes,
+                speedup);
+    sweep.push_back(std::move(r));
+  }
+
+  double speedup_4v1 =
+      sweep.back().commits_per_sec / sweep.front().commits_per_sec;
+  std::printf("commit throughput at 4 writers: %.2fx of 1 writer\n",
+              speedup_4v1);
+  std::printf("compliance log byte-identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO — DIVERGED");
+
+  std::string json = "{\"bench\":\"write_scaling\",\"slots\":" +
+                     std::to_string(slots) +
+                     ",\"warehouses\":2,\"cache_pages\":2048,"
+                     "\"worm_flush_latency_micros\":1000,"
+                     "\"group_commit_window_micros\":10000,\"sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const WriteScalingResult& r = sweep[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"write_threads\":%u,\"elapsed_seconds\":%.6f,"
+                  "\"commits\":%llu,\"commits_per_sec\":%.1f,"
+                  "\"epochs\":%llu,\"sequence_p95_us\":%.1f,"
+                  "\"epoch_flush_p95_us\":%.1f,\"latch_acquires\":%llu,"
+                  "\"latch_waits\":%llu,\"worm_flushes\":%llu,"
+                  "\"rollbacks\":%llu,\"log_bytes\":%zu,"
+                  "\"log_identical\":%s,\"audit_ok\":%s}",
+                  i == 0 ? "" : ",", r.write_threads, r.elapsed_seconds,
+                  static_cast<unsigned long long>(r.commits),
+                  r.commits_per_sec,
+                  static_cast<unsigned long long>(r.epochs),
+                  r.sequence_p95_us, r.epoch_flush_p95_us,
+                  static_cast<unsigned long long>(r.latch_acquires),
+                  static_cast<unsigned long long>(r.latch_waits),
+                  static_cast<unsigned long long>(r.worm_flushes),
+                  static_cast<unsigned long long>(r.rollbacks), r.log_bytes,
+                  r.log_identical ? "true" : "false",
+                  r.audit_ok ? "true" : "false");
+    json += buf;
+  }
+  json += "],\"speedup_4v1\":" + std::to_string(speedup_4v1) +
+          ",\"log_identical_all\":" + (all_identical ? "true" : "false") +
+          ",\"audits_ok\":" + (all_audits_ok ? "true" : "false") + "}\n";
+  std::FILE* f = std::fopen("BENCH_write_scaling.json", "w");
+  if (f == nullptr) return 1;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics artifact: BENCH_write_scaling.json\n");
+  return (all_identical && all_audits_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--read-threads") == 0) {
     return RunReadScalingSweep(ArgOr(argc, argv, 2, 1500));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--write-threads") == 0) {
+    // The env overrides would skew individual sweep points.
+    ::unsetenv("COMPLYDB_WRITE_THREADS");
+    ::unsetenv("COMPLYDB_COMPLIANCE_ASYNC");
+    return RunWriteScalingSweep(ArgOr(argc, argv, 2, 1500));
   }
   if (argc > 1 && std::strcmp(argv[1], "--commit-path") == 0) {
     std::string trace_path = StripTraceJsonFlag(&argc, argv, "commit_path");

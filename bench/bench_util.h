@@ -65,7 +65,8 @@ struct TpccEnv {
                                 uint64_t io_latency_micros = 0,
                                 bool async_shipping = false,
                                 uint64_t worm_flush_latency_micros = 0,
-                                uint64_t group_commit_window_micros = 0) {
+                                uint64_t group_commit_window_micros = 0,
+                                uint32_t write_threads = 1) {
     std::filesystem::remove_all(dir);
     TpccEnv env;
     env.clock = std::make_unique<SimulatedClock>();
@@ -86,6 +87,7 @@ struct TpccEnv {
     }
     options.tsb_enabled = tsb;
     options.tsb_split_threshold = tsb_threshold;
+    options.write_threads = write_threads;
 
     auto open = CompliantDB::Open(options);
     if (!open.ok()) return open.status();

@@ -568,6 +568,34 @@ Status ComplianceLogger::OnCommit(TxnId txn_id, uint64_t commit_time) {
   return log_->Flush();
 }
 
+Result<uint64_t> ComplianceLogger::OnCommitQueued(TxnId txn_id,
+                                                  uint64_t commit_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.enabled) return static_cast<uint64_t>(0);
+  auto it = stamps_on_log_.find(txn_id);
+  if (it != stamps_on_log_.end() && it->second == commit_time) {
+    return static_cast<uint64_t>(0);  // already announced, already durable
+  }
+  stamps_on_log_[txn_id] = commit_time;
+  CRecord rec;
+  rec.type = CRecordType::kStampTrans;
+  rec.txn_id = txn_id;
+  rec.commit_time = commit_time;
+  rec.timestamp = clock_->NowMicros();
+  CDB_RETURN_IF_ERROR(Append(rec));
+  last_stamp_activity_ = clock_->NowMicros();
+  // No barrier here: the pipeline's epoch wait calls WaitCommitDurable
+  // with (at least) this offset before the commit is acknowledged.
+  return log_->size();
+}
+
+Status ComplianceLogger::WaitCommitDurable(uint64_t offset) {
+  if (!options_.enabled || log_ == nullptr || offset == 0) {
+    return Status::OK();
+  }
+  return log_->FlushThrough(offset);
+}
+
 Status ComplianceLogger::OnAbort(TxnId txn_id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!options_.enabled) return Status::OK();

@@ -120,6 +120,19 @@ class ComplianceLogger : public IoHook,
   // --- CommitObserver ---
   Status OnCommit(TxnId txn_id, uint64_t commit_time) override;
   Status OnAbort(TxnId txn_id) override;
+
+  /// Commit-pipeline variant: appends the STAMP_TRANS under the logger
+  /// mutex (record order = turnstile order) but skips the durability
+  /// barrier, returning the L offset the commit must outlast. The epoch
+  /// leader later makes a whole window durable via WaitCommitDurable.
+  Result<uint64_t> OnCommitQueued(TxnId txn_id, uint64_t commit_time) override;
+
+  /// Epoch durability barrier: blocks until L is durable through
+  /// `offset`. Deliberately takes no logger mutex — in async-shipping
+  /// mode (the only mode the pipeline runs in) this lands on the
+  /// shipper's internally synchronized, coalescing FlushThrough, so
+  /// commit-path hooks from subsequent slots keep appending meanwhile.
+  Status WaitCommitDurable(uint64_t offset);
   Status OnStartRecovery() override;
   Status OnRecoveryComplete() override;
 

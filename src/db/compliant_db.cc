@@ -151,6 +151,24 @@ Status CompliantDB::Init() {
     options_.compliance.repair_stamp_index = false;
   }
 
+  // Multi-writer commit pipeline (DESIGN.md, "The epoch/sequencer commit
+  // pipeline"). Resolved before the logger exists because the pipeline's
+  // epoch barrier requires the async shipper: the sync-mode FlushThrough
+  // mutates logger state without the logger mutex, and per-hook sync
+  // flushes would re-serialize the slots anyway.
+  write_threads_ = options_.write_threads == 0 ? 1 : options_.write_threads;
+  if (const char* env = std::getenv("COMPLYDB_WRITE_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      write_threads_ = static_cast<uint32_t>(v);
+    }
+  }
+  if (options_.read_only) write_threads_ = 1;
+  if (write_threads_ > 1 && options_.compliance.enabled) {
+    options_.compliance.async_shipping = true;
+  }
+
   // Compliance epoch discovery from WORM (the trustworthy namespace).
   logger_ = std::make_unique<ComplianceLogger>(options_.compliance,
                                                worm_.get(), disk_.get(),
@@ -190,6 +208,25 @@ Status CompliantDB::Init() {
   txns_ = std::make_unique<TransactionManager>(
       wal_.get(), clock_,
       options_.compliance.enabled ? logger_.get() : nullptr);
+
+  if (write_threads_ > 1) {
+    CommitPipeline::BarrierFn barrier;
+    if (options_.compliance.enabled) {
+      // One durability barrier per epoch: flush the deferred WAL tail
+      // mirror (one WORM round trip for the whole epoch's commits), then
+      // wait the epoch's compliance records durable through the shipper.
+      // The local WAL fflush already happened per-commit at sequencing.
+      ComplianceLogger* logger = logger_.get();
+      LogManager* wal = wal_.get();
+      barrier = [logger, wal](uint64_t offset) {
+        CDB_RETURN_IF_ERROR(wal->FlushTailMirror());
+        return logger->WaitCommitDurable(offset);
+      };
+      wal_->set_tail_deferred(true);
+    }
+    pipeline_ = std::make_unique<CommitPipeline>(std::move(barrier));
+    txns_->SetPipeline(pipeline_.get());
+  }
 
   hist_ = std::make_unique<HistoricalStore>(worm_.get());
   CDB_RETURN_IF_ERROR(hist_->LoadAll());
@@ -517,9 +554,37 @@ Status CompliantDB::ScanIndex(
 
 // --- transactions ----------------------------------------------------
 
+uint64_t CompliantDB::ReserveWriteSlot() {
+  if (pipeline_ != nullptr) return pipeline_->ReserveTicket();
+  return serial_slot_seq_++;
+}
+
+Status CompliantDB::RunWriteSlot(uint64_t ticket,
+                                 const std::function<Status()>& body) {
+  if (pipeline_ == nullptr) {
+    (void)ticket;  // serial engine: the body already runs in slot order
+    return body();
+  }
+  pipeline_->OpenSlot(ticket, /*implicit=*/false);
+  Status s = body();
+  Status epoch = pipeline_->CloseSlot();
+  return s.ok() ? epoch : s;
+}
+
 Result<Transaction*> CompliantDB::Begin() {
   if (options_.read_only) return Status::NotSupported("read-only open");
-  return txns_->Begin();
+  // Pipeline mode: a bare Begin outside any explicit slot opens its own
+  // implicit one — the turnstile wait happens here, and Commit/Abort
+  // close the slot (so a standalone transaction keeps durable-on-return
+  // semantics through the epoch barrier).
+  bool opened = false;
+  if (pipeline_ != nullptr && !pipeline_->InSlot()) {
+    pipeline_->OpenSlot(pipeline_->ReserveTicket(), /*implicit=*/true);
+    opened = true;
+  }
+  auto txn = txns_->Begin();
+  if (!txn.ok() && opened) (void)pipeline_->CloseSlot();
+  return txn;
 }
 
 Status CompliantDB::Put(Transaction* txn, uint32_t table, Slice key,
@@ -590,22 +655,35 @@ Status CompliantDB::Commit(Transaction* txn) {
   // the close emits the commit span plus its foreground/queued/drain/
   // worm_flush segments (docs/OBSERVABILITY.md, "Spans").
   obs::ScopedCommitSpan span(txn != nullptr ? txn->id() : 0);
-  CDB_RETURN_IF_ERROR(txns_->Commit(txn));
-  span.set_commit_time(txns_->last_commit_time());
-  // The background timestamper keeps pace with commits (the regret tick
-  // is its hard deadline; this is its steady-state progress). Small
-  // per-commit slices instead of periodic bursts: total stamping work is
-  // unchanged, but no single commit absorbs a 32-transaction backlog —
-  // the bursts used to be the commit tail right below the regret ticks.
-  if (txns_->pending_stamp_count() >= 4) {
-    CDB_RETURN_IF_ERROR(txns_->StampPending(2));
+  Status s = txns_->Commit(txn);
+  if (s.ok()) {
+    span.set_commit_time(txns_->last_commit_time());
+    // The background timestamper keeps pace with commits (the regret tick
+    // is its hard deadline; this is its steady-state progress). Small
+    // per-commit slices instead of periodic bursts: total stamping work is
+    // unchanged, but no single commit absorbs a 32-transaction backlog —
+    // the bursts used to be the commit tail right below the regret ticks.
+    if (txns_->pending_stamp_count() >= 4) s = txns_->StampPending(2);
+    if (s.ok()) s = MaybeRegretTick();
   }
-  return MaybeRegretTick();
+  // An implicit slot closes with its commit: maintenance above stayed
+  // inside the turnstile; only the epoch durability wait remains. Runs on
+  // the error path too, or the turnstile would wedge.
+  if (pipeline_ != nullptr && pipeline_->InImplicitSlot()) {
+    Status epoch = pipeline_->CloseSlot();
+    if (s.ok()) s = epoch;
+  }
+  return s;
 }
 
 Status CompliantDB::Abort(Transaction* txn) {
-  CDB_RETURN_IF_ERROR(txns_->Abort(txn));
-  return MaybeRegretTick();
+  Status s = txns_->Abort(txn);
+  if (s.ok()) s = MaybeRegretTick();
+  if (pipeline_ != nullptr && pipeline_->InImplicitSlot()) {
+    Status epoch = pipeline_->CloseSlot();
+    if (s.ok()) s = epoch;
+  }
+  return s;
 }
 
 // --- temporal --------------------------------------------------------
@@ -722,7 +800,10 @@ Status CompliantDB::PlaceHold(uint32_t table, Slice key_prefix) {
   }
   CDB_RETURN_IF_ERROR(Commit(txn.value()));
   // Holds must be stamped promptly so hold checks resolve by commit time.
-  return txns_->StampPending(0);
+  // Stamping mutates tree pages, so in pipeline mode it needs its own
+  // slot (Commit closed the implicit one above).
+  return RunWriteSlot(ReserveWriteSlot(),
+                      [this] { return txns_->StampPending(0); });
 }
 
 Status CompliantDB::ReleaseHold(uint32_t table, Slice key_prefix) {
@@ -735,7 +816,8 @@ Status CompliantDB::ReleaseHold(uint32_t table, Slice key_prefix) {
     return s;
   }
   CDB_RETURN_IF_ERROR(Commit(txn.value()));
-  return txns_->StampPending(0);
+  return RunWriteSlot(ReserveWriteSlot(),
+                      [this] { return txns_->StampPending(0); });
 }
 
 Result<bool> CompliantDB::IsHeld(uint32_t table, Slice key) {
@@ -787,6 +869,7 @@ Status CompliantDB::FlushAll() {
   CDB_RETURN_IF_ERROR(txns_->StampPending(0));
   CDB_RETURN_IF_ERROR(cache_->FlushAll());
   CDB_RETURN_IF_ERROR(wal_->FlushAll());
+  CDB_RETURN_IF_ERROR(wal_->FlushTailMirror());
   // Drain the compliance ring last: quiescing (Audit) must leave nothing
   // in flight.
   return logger_->FlushLog();
@@ -864,11 +947,17 @@ Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
     return Status::NotSupported(
         "read-only open: use the standalone cdb_audit tool");
   }
-  if (txns_->HasActiveTxn()) {
-    return Status::Busy("audit requires a quiescent database");
-  }
-  if (open_snapshots_.load(std::memory_order_acquire) > 0) {
-    return Status::Busy("audit requires a quiescent database (snapshots open)");
+  {
+    const int snapshots = open_snapshots_.load(std::memory_order_acquire);
+    uint64_t writers = txns_->HasActiveTxn() ? 1 : 0;
+    if (pipeline_ != nullptr) {
+      writers = std::max(writers, pipeline_->in_flight());
+    }
+    if (snapshots > 0 || writers > 0) {
+      return Status::Busy("audit requires a quiescent database (" +
+                          std::to_string(snapshots) + " snapshots open, " +
+                          std::to_string(writers) + " writers in flight)");
+    }
   }
   // Quiesce: lazy updates reach disk, everything flushed.
   CDB_RETURN_IF_ERROR(FlushAll());

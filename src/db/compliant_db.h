@@ -17,6 +17,7 @@
 #include "storage/buffer_cache.h"
 #include "storage/disk_manager.h"
 #include "tsb/tsb_policy.h"
+#include "txn/epoch_pipeline.h"
 #include "txn/recovery.h"
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
@@ -95,6 +96,17 @@ struct DbOptions {
   /// this (CI uses it to exercise the parallel path everywhere). The
   /// report is byte-identical at any thread count.
   uint32_t audit_threads = 1;
+
+  /// Writer threads the epoch-based commit pipeline admits (see
+  /// DESIGN.md, "The epoch/sequencer commit pipeline"). 1 = the serial
+  /// engine, no pipeline. > 1 creates the ticket turnstile: workers
+  /// reserve slots via ReserveWriteSlot/RunWriteSlot (or get an implicit
+  /// slot per bare Begin), commits are sequenced in ticket order, and
+  /// durability is one epoch barrier per slot — the compliance log stays
+  /// byte-identical at any thread count. Forces compliance.async_shipping
+  /// when compliance is enabled. The COMPLYDB_WRITE_THREADS environment
+  /// variable, when set to a positive integer, overrides this.
+  uint32_t write_threads = 1;
 };
 
 /// The compliant DBMS facade: a transaction-time key-value store over
@@ -143,6 +155,20 @@ class CompliantDB {
   /// in primary-key order.
   Status ScanIndex(uint32_t index_id, Slice secondary,
                    const std::function<Status(Slice primary_key)>& fn);
+
+  // --- multi-writer commit slots (write_threads > 1) ---
+  /// Reserves the next commit-pipeline ticket. Tickets are admitted in
+  /// reservation order; reserve under the same lock that decides the
+  /// slot's content and the schedule is deterministic. With no pipeline
+  /// this is a plain counter (RunWriteSlot runs the body inline).
+  uint64_t ReserveWriteSlot();
+
+  /// Runs `body` inside commit slot `ticket`: blocks until the turnstile
+  /// admits the ticket, runs the body (any number of Begin/Commit cycles
+  /// plus reads), then releases the turnstile and waits for the epoch
+  /// durability barrier covering the slot's commits. Returns the body's
+  /// status, or the barrier's if the body succeeded.
+  Status RunWriteSlot(uint64_t ticket, const std::function<Status()>& body);
 
   // --- transactions ---
   Result<Transaction*> Begin();
@@ -244,6 +270,15 @@ class CompliantDB {
   WormStore* worm() { return worm_.get(); }
   ComplianceLogger* compliance_logger() { return logger_.get(); }
   TransactionManager* txns() { return txns_.get(); }
+  /// The commit pipeline, or null when write_threads resolved to 1.
+  CommitPipeline* write_pipeline() { return pipeline_.get(); }
+  /// Writer-thread count after the COMPLYDB_WRITE_THREADS override.
+  uint32_t write_threads() const { return write_threads_; }
+  /// "async", "sync", or "off" — how compliance records reach WORM.
+  const char* shipper_mode() const {
+    if (!options_.compliance.enabled) return "off";
+    return options_.compliance.async_shipping ? "async" : "sync";
+  }
   HistoricalStore* historical() { return hist_.get(); }
   Btree* tree(uint32_t table) { return txns_->GetTree(table); }
   std::string db_path() const { return options_.dir + "/data.db"; }
@@ -271,6 +306,9 @@ class CompliantDB {
   std::unique_ptr<WalFlushHook> wal_hook_;
   std::unique_ptr<ComplianceLogger> logger_;
   std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<CommitPipeline> pipeline_;
+  uint32_t write_threads_ = 1;
+  uint64_t serial_slot_seq_ = 0;  // ReserveWriteSlot without a pipeline
   std::unique_ptr<HistoricalStore> hist_;
   std::unique_ptr<TimeSplitPolicy> split_policy_;
   std::unique_ptr<ExpiryPolicy> expiry_;

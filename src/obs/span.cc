@@ -42,6 +42,9 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kCommitDrain: return "commit.drain";
     case SpanKind::kCommitWormFlush: return "commit.worm_flush";
     case SpanKind::kCommitTicket: return "commit.ticket";
+    case SpanKind::kCommitSequence: return "commit.sequence";
+    case SpanKind::kEpochFlush: return "epoch.flush";
+    case SpanKind::kEpochWait: return "epoch.wait";
     case SpanKind::kWalFsync: return "wal.fsync";
     case SpanKind::kShipperDrain: return "shipper.drain";
     case SpanKind::kShipperWormFlush: return "shipper.worm_flush";

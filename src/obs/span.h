@@ -51,6 +51,9 @@ enum class SpanKind : uint8_t {
   kCommitDrain,       // causal = txn id, arg = bytes appended
   kCommitWormFlush,   // causal = txn id
   kCommitTicket,      // causal = txn id; the whole OnCommit group ticket
+  kCommitSequence,    // causal = pipeline ticket; turnstile admission wait
+  kEpochFlush,        // causal = epoch seq, arg = commits in the epoch
+  kEpochWait,         // causal = epoch seq; riding another slot's barrier
   kWalFsync,          // causal = txn id (0 outside a commit), arg = lsn
   kShipperDrain,      // causal = batch id, arg = bytes appended
   kShipperWormFlush,  // causal = batch id

@@ -1,5 +1,8 @@
 #include "tpcc/workload.h"
 
+#include <atomic>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace complydb {
@@ -53,6 +56,135 @@ Status Workload::RunMix(uint64_t num_txns, MixStats* stats) {
     }
   }
   return Status::OK();
+}
+
+uint64_t Workload::SlotSeed(uint64_t seed, uint64_t salt) {
+  // splitmix64 over (seed, salt): independent, well-mixed streams per
+  // slot. Never returns 0 (a degenerate rng state).
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z | 1;
+}
+
+int Workload::MixTypeForSlot(uint64_t seed, uint64_t slot) {
+  // Same card deck as RunMix, but the shuffle for a century of slots is
+  // seeded from (seed, century) alone — slot content never depends on
+  // which thread got there first.
+  int deck[100];
+  size_t n = 0;
+  for (int i = 0; i < 45; ++i) deck[n++] = 0;
+  for (int i = 0; i < 43; ++i) deck[n++] = 1;
+  for (int i = 0; i < 4; ++i) deck[n++] = 2;
+  for (int i = 0; i < 4; ++i) deck[n++] = 3;
+  for (int i = 0; i < 4; ++i) deck[n++] = 4;
+  TpccRandom rng(SlotSeed(seed ^ 0x5eedc0dedeadbeefull, slot / 100));
+  for (size_t i = 100; i > 1; --i) {
+    std::swap(deck[i - 1], deck[rng.raw()->Uniform(i)]);
+  }
+  return deck[slot % 100];
+}
+
+Status Workload::RunMixConcurrent(uint64_t num_txns, uint32_t threads,
+                                  SimulatedClock* clock,
+                                  uint64_t advance_micros, MixStats* stats) {
+  if (threads == 0) threads = 1;
+  if (threads > 1 && db_->write_pipeline() == nullptr) {
+    return Status::InvalidArgument(
+        "RunMixConcurrent with threads > 1 requires DbOptions.write_threads "
+        "> 1");
+  }
+
+  // Slot numbers and pipeline tickets are drawn under one lock, so slot i
+  // always holds ticket base+i: admission order == slot order, and the
+  // whole schedule is the serial 0..num_txns-1 sequence.
+  std::mutex issue_mu;
+  uint64_t next_slot = 0;
+  std::mutex result_mu;
+  Status first_error;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&]() {
+    MixStats local;
+    while (true) {
+      uint64_t slot = 0;
+      uint64_t ticket = 0;
+      {
+        std::lock_guard<std::mutex> lock(issue_mu);
+        if (next_slot >= num_txns || failed.load(std::memory_order_relaxed)) {
+          break;
+        }
+        slot = next_slot++;
+        ticket = db_->ReserveWriteSlot();
+      }
+      const int type = MixTypeForSlot(seed_, slot);
+      TpccRandom rng(SlotSeed(seed_, slot));
+      Status s = db_->RunWriteSlot(ticket, [&]() -> Status {
+        Status ts;
+        switch (type) {
+          case 0: {
+            bool committed = false;
+            ts = NewOrder(&committed, &rng);
+            if (ts.ok()) {
+              ++local.new_order;
+              if (!committed) ++local.rollbacks;
+            }
+            break;
+          }
+          case 1:
+            ts = Payment(&rng);
+            if (ts.ok()) ++local.payment;
+            break;
+          case 2:
+            ts = OrderStatus(&rng);
+            if (ts.ok()) ++local.order_status;
+            break;
+          case 3:
+            ts = Delivery(&rng);
+            if (ts.ok()) ++local.delivery;
+            break;
+          case 4:
+            ts = StockLevel(&rng);
+            if (ts.ok()) ++local.stock_level;
+            break;
+        }
+        // The clock advance must stay inside the turnstile: commit times
+        // are max(last_tick+1, now), so an advance concurrent with
+        // another slot's commit would make timestamps depend on thread
+        // timing.
+        if (ts.ok() && clock != nullptr && advance_micros > 0) {
+          clock->AdvanceMicros(advance_micros);
+        }
+        return ts;
+      });
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(result_mu);
+        if (first_error.ok()) first_error = s;
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (stats != nullptr) {
+      std::lock_guard<std::mutex> lock(result_mu);
+      stats->new_order += local.new_order;
+      stats->payment += local.payment;
+      stats->order_status += local.order_status;
+      stats->delivery += local.delivery;
+      stats->stock_level += local.stock_level;
+      stats->rollbacks += local.rollbacks;
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return first_error;
 }
 
 }  // namespace tpcc

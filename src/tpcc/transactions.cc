@@ -8,14 +8,15 @@
 namespace complydb {
 namespace tpcc {
 
-Status Workload::SelectCustomer(uint32_t w, uint32_t d, uint32_t* c_id) {
-  if (!rng_.Percent(60) || tables_.customer_by_name == 0) {
-    *c_id = rng_.CustomerId(scale_.customers_per_district);
+Status Workload::SelectCustomer(TpccRandom* rng, uint32_t w, uint32_t d,
+                                uint32_t* c_id) {
+  if (!rng->Percent(60) || tables_.customer_by_name == 0) {
+    *c_id = rng->CustomerId(scale_.customers_per_district);
     return Status::OK();
   }
   // By last name (clause 2.5.1.2): collect the matches and take the one
   // at position ceil(n/2) in primary-key order.
-  uint32_t name_c = rng_.CustomerId(scale_.customers_per_district);
+  uint32_t name_c = rng->CustomerId(scale_.customers_per_district);
   char prefix[20];
   std::snprintf(prefix, sizeof(prefix), "%08x%08x", w, d);
   std::string secondary =
@@ -32,26 +33,26 @@ Status Workload::SelectCustomer(uint32_t w, uint32_t d, uint32_t* c_id) {
                        return Status::OK();
                      }));
   if (matches.empty()) {
-    *c_id = rng_.CustomerId(scale_.customers_per_district);
+    *c_id = rng->CustomerId(scale_.customers_per_district);
     return Status::OK();
   }
   *c_id = matches[(matches.size() + 1) / 2 - 1];
   return Status::OK();
 }
 
-Status Workload::NewOrder(bool* committed) {
+Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
   *committed = false;
-  uint32_t w = RandomWarehouse();
-  uint32_t d = RandomDistrict();
-  uint32_t c = rng_.CustomerId(scale_.customers_per_district);
-  uint32_t ol_cnt = static_cast<uint32_t>(rng_.Uniform(5, 15));
-  bool rollback = rng_.Percent(1);  // clause 2.4.1.4
+  uint32_t w = RandomWarehouse(rng);
+  uint32_t d = RandomDistrict(rng);
+  uint32_t c = rng->CustomerId(scale_.customers_per_district);
+  uint32_t ol_cnt = static_cast<uint32_t>(rng->Uniform(5, 15));
+  bool rollback = rng->Percent(1);  // clause 2.4.1.4
 
   // Pick items up front, coalescing duplicates (one STOCK write per key).
   std::map<uint32_t, uint32_t> item_qty;  // i_id -> quantity
   for (uint32_t i = 0; i < ol_cnt; ++i) {
-    uint32_t i_id = rng_.ItemId(scale_.items);
-    item_qty[i_id] += static_cast<uint32_t>(rng_.Uniform(1, 10));
+    uint32_t i_id = rng->ItemId(scale_.items);
+    item_qty[i_id] += static_cast<uint32_t>(rng->Uniform(1, 10));
   }
 
   auto begin = db_->Begin();
@@ -106,9 +107,9 @@ Status Workload::NewOrder(bool* committed) {
 
     // 1% remote warehouse (only meaningful with >1 warehouse).
     uint32_t supply_w = w;
-    if (scale_.warehouses > 1 && rng_.Percent(1)) {
+    if (scale_.warehouses > 1 && rng->Percent(1)) {
       do {
-        supply_w = RandomWarehouse();
+        supply_w = RandomWarehouse(rng);
       } while (supply_w == w);
     }
 
@@ -143,21 +144,21 @@ Status Workload::NewOrder(bool* committed) {
   return Status::OK();
 }
 
-Status Workload::Payment() {
-  uint32_t w = RandomWarehouse();
-  uint32_t d = RandomDistrict();
+Status Workload::Payment(TpccRandom* rng) {
+  uint32_t w = RandomWarehouse(rng);
+  uint32_t d = RandomDistrict(rng);
   // 85% local customer, 15% remote (with >1 warehouse).
   uint32_t c_w = w;
   uint32_t c_d = d;
-  if (scale_.warehouses > 1 && rng_.Percent(15)) {
+  if (scale_.warehouses > 1 && rng->Percent(15)) {
     do {
-      c_w = RandomWarehouse();
+      c_w = RandomWarehouse(rng);
     } while (c_w == w);
-    c_d = RandomDistrict();
+    c_d = RandomDistrict(rng);
   }
   uint32_t c = 0;
-  CDB_RETURN_IF_ERROR(SelectCustomer(c_w, c_d, &c));
-  int64_t amount = static_cast<int64_t>(rng_.Uniform(100, 500000));
+  CDB_RETURN_IF_ERROR(SelectCustomer(rng, c_w, c_d, &c));
+  int64_t amount = static_cast<int64_t>(rng->Uniform(100, 500000));
 
   auto begin = db_->Begin();
   if (!begin.ok()) return begin.status();
@@ -203,17 +204,17 @@ Status Workload::Payment() {
   history.date = db_->Now();
   history.data = warehouse.name + "    " + district.name;
   CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.history,
-                               HistoryKey(w, d, c, rng_.raw()->Next()),
+                               HistoryKey(w, d, c, rng->raw()->Next()),
                                history.Encode()));
 
   return db_->Commit(txn);
 }
 
-Status Workload::OrderStatus() {
-  uint32_t w = RandomWarehouse();
-  uint32_t d = RandomDistrict();
+Status Workload::OrderStatus(TpccRandom* rng) {
+  uint32_t w = RandomWarehouse(rng);
+  uint32_t d = RandomDistrict(rng);
   uint32_t c = 0;
-  CDB_RETURN_IF_ERROR(SelectCustomer(w, d, &c));
+  CDB_RETURN_IF_ERROR(SelectCustomer(rng, w, d, &c));
 
   std::string raw;
   CDB_RETURN_IF_ERROR(db_->Get(tables_.customer, CustomerKey(w, d, c), &raw));
@@ -354,9 +355,9 @@ Status Workload::StockLevelRO(const SnapshotReader& snap,
   return Status::OK();
 }
 
-Status Workload::Delivery() {
-  uint32_t w = RandomWarehouse();
-  uint32_t carrier = static_cast<uint32_t>(rng_.Uniform(1, 10));
+Status Workload::Delivery(TpccRandom* rng) {
+  uint32_t w = RandomWarehouse(rng);
+  uint32_t carrier = static_cast<uint32_t>(rng->Uniform(1, 10));
 
   for (uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
     // Oldest undelivered order in this district.
@@ -427,10 +428,10 @@ Status Workload::Delivery() {
   return Status::OK();
 }
 
-Status Workload::StockLevel() {
-  uint32_t w = RandomWarehouse();
-  uint32_t d = RandomDistrict();
-  int32_t threshold = static_cast<int32_t>(rng_.Uniform(10, 20));
+Status Workload::StockLevel(TpccRandom* rng) {
+  uint32_t w = RandomWarehouse(rng);
+  uint32_t d = RandomDistrict(rng);
+  int32_t threshold = static_cast<int32_t>(rng->Uniform(10, 20));
 
   std::string raw;
   CDB_RETURN_IF_ERROR(db_->Get(tables_.district, DistrictKey(w, d), &raw));

@@ -51,7 +51,7 @@ struct MixStats {
 class Workload {
  public:
   Workload(CompliantDB* db, const Scale& scale, uint64_t seed)
-      : db_(db), scale_(scale), rng_(seed) {}
+      : db_(db), scale_(scale), seed_(seed), rng_(seed) {}
 
   /// Creates the relations (fresh database) or resolves existing ones.
   Status CreateOrAttachTables();
@@ -60,12 +60,20 @@ class Workload {
   Status Load();
 
   // Single-transaction executions. NewOrder reports whether it committed
-  // (false = the intentional 1% rollback).
-  Status NewOrder(bool* committed);
-  Status Payment();
-  Status OrderStatus();
-  Status Delivery();
-  Status StockLevel();
+  // (false = the intentional 1% rollback). Each takes the rng that drives
+  // its parameter draws; the no-rng overloads use the workload's own rng
+  // (single-threaded callers). RunMixConcurrent passes a per-slot rng so
+  // a slot's content is a pure function of its slot number.
+  Status NewOrder(bool* committed, TpccRandom* rng);
+  Status Payment(TpccRandom* rng);
+  Status OrderStatus(TpccRandom* rng);
+  Status Delivery(TpccRandom* rng);
+  Status StockLevel(TpccRandom* rng);
+  Status NewOrder(bool* committed) { return NewOrder(committed, &rng_); }
+  Status Payment() { return Payment(&rng_); }
+  Status OrderStatus() { return OrderStatus(&rng_); }
+  Status Delivery() { return Delivery(&rng_); }
+  Status StockLevel() { return StockLevel(&rng_); }
 
   // Read-only variants of the two read-only TPC-C transactions, executed
   // against a snapshot handle. Safe to call from any reader thread
@@ -77,6 +85,29 @@ class Workload {
   /// Runs `num_txns` transactions at the standard mix.
   Status RunMix(uint64_t num_txns, MixStats* stats);
 
+  /// Multi-writer mix driver over the commit pipeline: `num_txns` slots
+  /// whose content (transaction type and every parameter draw) is a pure
+  /// function of (seed, slot number), executed by `threads` workers
+  /// through CompliantDB::RunWriteSlot. The turnstile admits slots in
+  /// reservation order, so the execution schedule — and with it the
+  /// compliance log L, byte for byte — is identical at any thread count.
+  /// NOT byte-compatible with RunMix (that single-rng schedule interleaves
+  /// deck shuffles with parameter draws); compare RunMixConcurrent runs
+  /// with each other. `clock`, when non-null, is advanced by
+  /// `advance_micros` inside each slot (the advance must stay inside the
+  /// turnstile, or commit-time draws would race). `threads` > 1 requires
+  /// the db to have a commit pipeline (write_threads > 1).
+  Status RunMixConcurrent(uint64_t num_txns, uint32_t threads,
+                          SimulatedClock* clock, uint64_t advance_micros,
+                          MixStats* stats);
+
+  /// The transaction type slot `slot` runs: the same 45/43/4/4/4 card
+  /// deck as RunMix, reshuffled each century of slots from `seed`.
+  static int MixTypeForSlot(uint64_t seed, uint64_t slot);
+
+  /// Deterministic per-slot rng stream (splitmix64 over seed and slot).
+  static uint64_t SlotSeed(uint64_t seed, uint64_t slot);
+
   const Tables& tables() const { return tables_; }
   const Scale& scale() const { return scale_; }
   TpccRandom* rng() { return &rng_; }
@@ -84,20 +115,22 @@ class Workload {
  private:
   /// Customer selection per clause 2.5.1.2: 60% by last name through the
   /// secondary index (middle match), 40% by id (NURand).
-  Status SelectCustomer(uint32_t w, uint32_t d, uint32_t* c_id);
+  Status SelectCustomer(TpccRandom* rng, uint32_t w, uint32_t d,
+                        uint32_t* c_id);
   Status SelectCustomerRO(const SnapshotReader& snap, TpccRandom* rng,
                           uint32_t w, uint32_t d, uint32_t* c_id) const;
 
-  uint32_t RandomWarehouse() {
-    return static_cast<uint32_t>(rng_.Uniform(1, scale_.warehouses));
+  uint32_t RandomWarehouse(TpccRandom* rng) {
+    return static_cast<uint32_t>(rng->Uniform(1, scale_.warehouses));
   }
-  uint32_t RandomDistrict() {
+  uint32_t RandomDistrict(TpccRandom* rng) {
     return static_cast<uint32_t>(
-        rng_.Uniform(1, scale_.districts_per_warehouse));
+        rng->Uniform(1, scale_.districts_per_warehouse));
   }
 
   CompliantDB* db_;
   Scale scale_;
+  uint64_t seed_;
   TpccRandom rng_;
   Tables tables_;
 };

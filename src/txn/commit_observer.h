@@ -19,6 +19,18 @@ class CommitObserver {
   virtual Status OnCommit(TxnId txn_id, uint64_t commit_time) = 0;
   virtual Status OnAbort(TxnId txn_id) = 0;
 
+  /// Pipeline variant of OnCommit: append the STAMP_TRANS record *now*
+  /// (the caller holds the commit turnstile, so record order is fixed
+  /// here) but defer the durability barrier, returning the log offset the
+  /// caller must make durable before acknowledging the commit. The §IV-B
+  /// precondition is unchanged — the WAL commit record is already
+  /// durable. Default: the synchronous OnCommit, after which nothing is
+  /// left to wait on (offset 0).
+  virtual Result<uint64_t> OnCommitQueued(TxnId txn_id, uint64_t commit_time) {
+    CDB_RETURN_IF_ERROR(OnCommit(txn_id, commit_time));
+    return static_cast<uint64_t>(0);
+  }
+
   /// Crash recovery started (logs a timestamped START_RECOVERY, §IV-B).
   virtual Status OnStartRecovery() = 0;
 

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "txn/epoch_pipeline.h"
 
 namespace complydb {
 
@@ -75,6 +76,7 @@ Status TransactionManager::Put(Transaction* txn, uint32_t tree_id, Slice key,
   }
   Btree* tree = GetTree(tree_id);
   if (tree == nullptr) return Status::InvalidArgument("unknown tree");
+  if (pipeline_ != nullptr) pipeline_->AcquirePartitionLatch(tree_id);
 
   // A second write to the same key in one transaction would physically
   // replace the intermediate version, producing a compliance-log UNDO that
@@ -106,6 +108,7 @@ Status TransactionManager::Delete(Transaction* txn, uint32_t tree_id,
   }
   Btree* tree = GetTree(tree_id);
   if (tree == nullptr) return Status::InvalidArgument("unknown tree");
+  if (pipeline_ != nullptr) pipeline_->AcquirePartitionLatch(tree_id);
 
   TupleData latest;
   Status s = tree->GetLatest(key, &latest);
@@ -203,7 +206,16 @@ Status TransactionManager::Commit(Transaction* txn) {
     // into queued / drain / worm_flush segments underneath.
     obs::ScopedSpan ticket_span(obs::SpanKind::kCommitTicket, txn->id_,
                                 commit_time);
-    CDB_RETURN_IF_ERROR(observer_->OnCommit(txn->id_, commit_time));
+    if (pipeline_ != nullptr && pipeline_->InSlot()) {
+      // Pipeline mode: sequence the STAMP_TRANS now (the turnstile fixes
+      // its position in L) but defer the WORM round trip to the slot's
+      // epoch barrier, which overlaps with the next slots' engine work.
+      auto offset = observer_->OnCommitQueued(txn->id_, commit_time);
+      if (!offset.ok()) return offset.status();
+      pipeline_->NoteCommitOffset(offset.value());
+    } else {
+      CDB_RETURN_IF_ERROR(observer_->OnCommit(txn->id_, commit_time));
+    }
   }
 
   if (!txn->writes_.empty()) {

@@ -19,6 +19,8 @@
 
 namespace complydb {
 
+class CommitPipeline;
+
 /// One write performed by a transaction (final state per key; an in-txn
 /// overwrite replaces the entry). Drives abort-undo bookkeeping, lazy
 /// stamping, and AS-OF resolution.
@@ -127,6 +129,16 @@ class TransactionManager {
   /// and commit times.
   uint64_t NextTick();
 
+  /// Attaches the multi-writer commit pipeline (write_threads > 1). When
+  /// set and the calling thread holds an open slot, Commit sequences the
+  /// compliance record via OnCommitQueued and defers durability to the
+  /// slot's epoch barrier, and Put/Delete acquire the target partition's
+  /// write latch for the life of the slot. Engine state (active_,
+  /// last_tick_, pending_stamps_) needs no extra locking: the pipeline's
+  /// turnstile admits one slot at a time, and its mutex handoff orders
+  /// slots' accesses.
+  void SetPipeline(CommitPipeline* pipeline) { pipeline_ = pipeline; }
+
  private:
   struct PendingStamp {
     TxnId txn_id;
@@ -137,6 +149,7 @@ class TransactionManager {
   LogManager* wal_;
   Clock* clock_;
   CommitObserver* observer_;
+  CommitPipeline* pipeline_ = nullptr;
   mutable std::shared_mutex trees_mu_;
   std::unordered_map<uint32_t, Btree*> trees_;
   std::unique_ptr<Transaction> active_;

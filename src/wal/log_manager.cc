@@ -111,7 +111,13 @@ Status LogManager::FlushAllLocked() {
   if (n != pending_.size()) return Status::IOError("wal short write");
   if (std::fflush(file_) != 0) return Status::IOError("wal flush");
   if (tail_worm_ != nullptr && !tail_name_.empty()) {
-    CDB_RETURN_IF_ERROR(tail_worm_->Append(tail_name_, pending_));
+    // Deferred mode buffers the mirror bytes; the epoch barrier pays the
+    // WORM round trip once per epoch instead of once per commit.
+    if (tail_defer_) {
+      CDB_RETURN_IF_ERROR(tail_worm_->AppendUnflushed(tail_name_, pending_));
+    } else {
+      CDB_RETURN_IF_ERROR(tail_worm_->Append(tail_name_, pending_));
+    }
   }
   wm.flushes->Inc();
   wm.flush_bytes->Inc(pending_.size());
@@ -121,6 +127,24 @@ Status LogManager::FlushAllLocked() {
                                 pending_.size(), durable_end_);
   pending_.clear();
   return Status::OK();
+}
+
+Status LogManager::FlushTailMirror() {
+  WormStore* worm = nullptr;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!tail_defer_ || tail_worm_ == nullptr || tail_name_.empty()) {
+      return Status::OK();
+    }
+    worm = tail_worm_;
+    name = tail_name_;
+  }
+  // Outside mu_: the WORM flush latency must overlap with the next slot's
+  // WAL flush, not serialize with it. StartTail only reconfigures the
+  // tail on a quiescent database (audit/init), so the copied handle
+  // cannot go stale mid-flush.
+  return worm->FlushAppends(name);
 }
 
 Status LogManager::Scan(

@@ -73,6 +73,27 @@ class LogManager {
   /// concurrently with traffic), so no lock is taken for the reference.
   const std::string& tail_name() const { return tail_name_; }
 
+  /// Epoch-deferred tail durability (the multi-writer commit pipeline):
+  /// when set, FlushAll appends tail-mirror bytes to the WORM file
+  /// *unflushed* instead of paying one WORM round trip per WAL flush, and
+  /// the epoch barrier (or FlushTailMirror) makes them durable in one
+  /// trip. Legal because the tail is prefix-tolerant audit evidence: the
+  /// auditor compares only the bytes present and never reads the tail
+  /// during recovery, so a crash that loses the buffered suffix shortens
+  /// the evidence window without ever manufacturing a tampering verdict.
+  /// The *local* WAL fflush stays per-commit in either mode (§IV-B: a
+  /// STAMP must never become durable before its commit record).
+  void set_tail_deferred(bool deferred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail_defer_ = deferred;
+  }
+
+  /// Flushes deferred tail-mirror bytes through to the WORM store (one
+  /// round trip). No-op unless deferral is on. The round trip is paid
+  /// without holding mu_, so a committing writer's FlushAll never queues
+  /// behind the barrier's WORM latency.
+  Status FlushTailMirror();
+
   /// Simulates losing the in-memory buffer in a crash (tests).
   void DropPending() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -107,6 +128,7 @@ class LogManager {
 
   WormStore* tail_worm_ = nullptr;
   std::string tail_name_;
+  bool tail_defer_ = false;
 };
 
 }  // namespace complydb

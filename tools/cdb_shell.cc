@@ -234,6 +234,9 @@ int main(int argc, char** argv) {
                       r.value().compliance_log_bytes),
                   static_cast<unsigned long long>(
                       r.value().historical_pages));
+      std::printf("config: write_threads=%u cache_shards=%zu shipper=%s\n",
+                  db->write_threads(), db->cache()->shards(),
+                  db->shipper_mode());
     } else if (cmd == "metrics") {
       if (args.size() >= 2 && args[1] == "prom") {
         std::printf("%s", db->DumpMetricsPrometheus().c_str());

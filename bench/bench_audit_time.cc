@@ -8,12 +8,21 @@
 // removes historic pages from the audited set.
 //
 //   ./bench_audit_time [txns] [--threads=1,2,4,8]
+//   ./bench_audit_time --incremental [steps] [txns-per-step]
 //
 // The --threads flag sweeps the parallel audit (sharded replay +
 // chunked final-state scan) over the given worker counts on one store,
 // reporting the speedup of the parallel phases over the serial
 // reference. Timings land in the metrics artifact as
 // audit_sweep.t<N>.* gauges (microseconds).
+//
+// The --incremental mode A/Bs the O(delta) incremental certification
+// against a full chain replay at each growth step: after every batch of
+// transactions it runs AuditIncremental (replays only the new sealed
+// epochs) and AuditFullReplay (replays the whole chain from the epoch
+// seed). The expected shape is incremental cost staying flat as |L|
+// grows while full-replay cost grows linearly. Timings land as
+// audit_incremental.step<i>.* gauges in BENCH_audit_incremental.json.
 
 #include <string>
 #include <vector>
@@ -152,11 +161,125 @@ int ThreadSweep(uint64_t txns, const std::vector<uint32_t>& counts) {
   return 0;
 }
 
+// Grows one store in steps; at each step certifies the new sealed epochs
+// incrementally AND replays the whole chain, asserting both verdicts
+// agree. The per-step delta is constant, so O(delta) shows up as a flat
+// inc_s column while full_s grows with |L|.
+int IncrementalSweep(uint64_t steps, uint64_t txns_per_step) {
+  tpcc::Scale scale;
+  auto env = TpccEnv::Create(BenchDir("audit_incremental"),
+                             Mode::kLogConsistentHashOnRead, 256, scale,
+                             /*seed=*/11, /*tsb=*/false, 0.5,
+                             /*io_latency=*/0);
+  if (!env.ok()) {
+    std::fprintf(stderr, "setup: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  CompliantDB* db = env.value().db.get();
+
+  std::printf("\n=== incremental certification vs full replay ===\n");
+  std::printf("%5s %12s %12s %10s %9s %9s %9s\n", "step", "log_bytes",
+              "delta_bytes", "epochs", "inc_s", "full_s", "full/inc");
+  auto& reg = obs::MetricsRegistry::Global();
+  for (uint64_t i = 0; i < steps; ++i) {
+    if (!env.value().RunTxns(txns_per_step).ok()) return 1;
+
+    Timer inc_timer;
+    auto inc = db->AuditIncremental(1);
+    double inc_s = inc_timer.Seconds();
+    if (!inc.ok()) {
+      std::fprintf(stderr, "incremental: %s\n",
+                   inc.status().ToString().c_str());
+      return 1;
+    }
+    if (!inc.value().ok()) {
+      std::fprintf(stderr, "INCREMENTAL AUDIT FAILED: %s\n",
+                   inc.value().problems[0].c_str());
+      return 1;
+    }
+
+    Timer full_timer;
+    auto full = db->AuditFullReplay(1);
+    double full_s = full_timer.Seconds();
+    if (!full.ok()) {
+      std::fprintf(stderr, "full replay: %s\n",
+                   full.status().ToString().c_str());
+      return 1;
+    }
+    if (!full.value().ok()) {
+      std::fprintf(stderr, "FULL REPLAY FAILED: %s\n",
+                   full.value().problems[0].c_str());
+      return 1;
+    }
+    // Verdict equivalence is part of the contract, not just the tests.
+    if (full.value().state_digest != inc.value().state_digest ||
+        full.value().chain_root != inc.value().chain_root) {
+      std::fprintf(stderr, "DIVERGENCE: incremental and full replay "
+                           "disagree at step %llu\n",
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+
+    auto stats = db->Stats();
+    uint64_t log_bytes =
+        stats.ok() ? stats.value().compliance_log_bytes : 0;
+    std::printf("%5llu %12llu %12llu %10llu %9.4f %9.4f %8.2fx\n",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(log_bytes),
+                static_cast<unsigned long long>(inc.value().bytes_replayed),
+                static_cast<unsigned long long>(
+                    inc.value().epochs_certified),
+                inc_s, full_s, inc_s > 0 ? full_s / inc_s : 0.0);
+
+    std::string prefix = "audit_incremental.step" + std::to_string(i) + ".";
+    reg.GetGauge(prefix + "log_bytes")->Set(static_cast<int64_t>(log_bytes));
+    reg.GetGauge(prefix + "delta_bytes")
+        ->Set(static_cast<int64_t>(inc.value().bytes_replayed));
+    reg.GetGauge(prefix + "inc_us")->Set(static_cast<int64_t>(inc_s * 1e6));
+    reg.GetGauge(prefix + "full_us")
+        ->Set(static_cast<int64_t>(full_s * 1e6));
+  }
+  std::printf("\nExpected shape: inc_s stays flat (O(delta): each step "
+              "replays only its new epochs) while full_s grows with |L|.\n");
+  return 0;
+}
+
+// Strips a bare `--incremental` flag.
+bool StripIncrementalFlag(int* argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--incremental") {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_path = StripMetricsJsonFlag(&argc, argv, "audit_time");
+  bool incremental = StripIncrementalFlag(&argc, argv);
+  std::string metrics_path = StripMetricsJsonFlag(
+      &argc, argv, incremental ? "audit_incremental" : "audit_time");
   std::vector<uint32_t> thread_counts = StripThreadsFlag(&argc, argv);
+
+  if (incremental) {
+    Timer inc_run_timer;
+    uint64_t steps = ArgOr(argc, argv, 1, 6);
+    uint64_t per_step = ArgOr(argc, argv, 2, 150);
+    if (IncrementalSweep(steps, per_step) != 0) return 1;
+    Status ms = WriteMetricsJson(metrics_path, "audit_incremental",
+                                 inc_run_timer.Seconds());
+    if (!ms.ok()) {
+      std::fprintf(stderr, "%s\n", ms.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
   Timer run_timer;
   uint64_t txns = ArgOr(argc, argv, 1, 1500);
   std::printf("=== §VII(c): audit time after %llu TPC-C transactions ===\n",

@@ -7,6 +7,7 @@
 #include <memory>
 #include <set>
 
+#include "audit/epoch_chain.h"
 #include "btree/integrity.h"
 #include "btree/tuple.h"
 #include "common/coding.h"
@@ -907,11 +908,22 @@ Result<AuditReport> Auditor::Audit(uint64_t epoch, bool write_snapshot) {
   return report;
 }
 
+int AuditExitCodeForStatus(const Status& s) {
+  if (s.ok()) return kAuditExitCompliant;
+  if (s.IsTampered() || s.IsCorruption()) return kAuditExitTampered;
+  if (s.IsBusy()) return kAuditExitBusy;
+  return kAuditExitIoError;
+}
+
 Status Auditor::ReleaseOldFiles(uint64_t epoch) {
   std::vector<std::string> victims;
   victims.push_back(SnapshotFileName(epoch));
   victims.push_back(LogFileName(epoch));
   victims.push_back(StampIndexFileName(epoch));
+  // The incremental-audit chain and certification markers cover exactly
+  // this L; they roll with the epoch.
+  victims.push_back(ChainFileName(epoch));
+  victims.push_back(CertFileName(epoch));
   for (const auto& name : worm_->ListPrefix("witness_")) {
     victims.push_back(name);
   }

@@ -49,7 +49,27 @@ struct AuditOptions {
   /// (tree_id, pgno), the database scan chunks by pgno, and both merge
   /// deterministically.
   uint32_t num_threads = 1;
+  /// Legacy full-audit ergonomics: instead of returning Busy the moment a
+  /// snapshot is open or a writer is in flight, poll for quiescence until
+  /// `quiesce_deadline_micros` of wall time has elapsed, then give up
+  /// with Busy. Honored by the CompliantDB facade (the standalone auditor
+  /// has no live engine to wait for).
+  bool wait_for_quiesce = false;
+  uint64_t quiesce_deadline_micros = 2'000'000;
 };
+
+/// Exit codes of the cdb_audit tool — a stable CLI contract so scripts
+/// can tell "come back later" from "call the prosecutor".
+enum AuditExitCode : int {
+  kAuditExitCompliant = 0,
+  kAuditExitTampered = 1,  // findings, or Tampered/Corruption while reading
+  kAuditExitUsage = 2,
+  kAuditExitBusy = 3,  // database not quiescent (legacy full audit only)
+  kAuditExitIoError = 4,
+};
+
+/// Maps an audit-path Status to the exit code above (OK -> compliant).
+int AuditExitCodeForStatus(const Status& s);
 
 struct AuditTimings {
   double summarize_seconds = 0;

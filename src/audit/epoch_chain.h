@@ -1,0 +1,150 @@
+#ifndef COMPLYDB_AUDIT_EPOCH_CHAIN_H_
+#define COMPLYDB_AUDIT_EPOCH_CHAIN_H_
+
+// Sealed-epoch digest chain: the trusted spine of incremental audit.
+//
+// The commit pipeline's durability epochs double as audit units. When an
+// epoch's L range is durable, the sealer writes a SealedEpoch header to
+// the WORM chain file: the [begin, end) byte range it covers in
+// L_<audit_epoch>, a Merkle root over the framed records inside that
+// range, and a chain digest linking it to the previous header. The chain
+// file lives on WORM next to L, so the trusted base for "all state
+// through sealed epoch k" shrinks to one 32-byte chain digest.
+//
+// Layout on WORM (both append-only, released with L at full audit):
+//   chain_<epoch>   SealedEpoch frames, one per sealed epoch
+//   cert_<epoch>    CertificationRecord frames, one per clean
+//                   incremental-audit run (HMAC-signed by the auditor
+//                   key, so reopen can trust "epochs 1..k were already
+//                   certified" without replaying blind)
+//
+// Merkle construction is RFC 6962-style: leaf = H(0x00 || frame bytes),
+// node = H(0x01 || l || r), split at the largest power of two below n.
+// Leaves are the *framed* CRecords (len|crc|payload) so an audit path
+// carries self-checking bytes.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "worm/worm_store.h"
+
+namespace complydb {
+
+std::string ChainFileName(uint64_t audit_epoch);
+std::string CertFileName(uint64_t audit_epoch);
+
+/// One sealed commit epoch: a contiguous L byte range plus its digests.
+struct SealedEpoch {
+  uint64_t seq = 0;           // 1-based position in the chain
+  uint64_t audit_epoch = 0;   // which L_<n> the range belongs to
+  uint64_t begin_offset = 0;  // [begin_offset, end_offset) into L
+  uint64_t end_offset = 0;
+  uint64_t record_count = 0;  // framed CRecords inside the range
+  uint64_t sealed_time = 0;   // WORM clock micros at seal
+  Sha256Digest merkle_root{};
+  Sha256Digest chain{};       // ChainLink(prev chain or seed, header)
+
+  std::string Encode() const;  // len u32 | crc u32 | payload
+  static Status Decode(Slice in, SealedEpoch* out, size_t* consumed);
+};
+
+// ------------------------------------------------------------------ Merkle
+
+Sha256Digest MerkleLeafHash(Slice data);
+Sha256Digest MerkleNodeHash(const Sha256Digest& l, const Sha256Digest& r);
+Sha256Digest MerkleRoot(const std::vector<Sha256Digest>& leaves);
+
+/// Sibling digests from the leaf level upward (deepest first), as needed
+/// to recompute the root for `index` out of `leaves.size()` leaves.
+std::vector<Sha256Digest> MerkleAuditPath(
+    const std::vector<Sha256Digest>& leaves, size_t index);
+
+/// Recomputes the root implied by (leaf, index, count, path). Fails with
+/// Corruption when the path length does not match the tree shape.
+Status MerkleRootFromPath(const Sha256Digest& leaf, uint64_t index,
+                          uint64_t count, const std::vector<Sha256Digest>& path,
+                          Sha256Digest* out);
+
+/// Byte offsets (relative to `blob`) of every CRecord frame start.
+/// Fails with Corruption if the blob does not end exactly on a frame
+/// boundary — seal targets are always record boundaries.
+Status FrameBoundaries(Slice blob, std::vector<uint64_t>* offsets);
+
+/// One MerkleLeafHash per frame in `blob`, batched through the multi-
+/// buffer SHA-256 path.
+Status EpochLeafHashes(Slice blob, std::vector<Sha256Digest>* leaves);
+
+Sha256Digest ChainSeed(uint64_t audit_epoch);
+Sha256Digest ChainLink(const Sha256Digest& prev, const SealedEpoch& header);
+
+/// Reads chain_<audit_epoch> and structurally verifies it: seq contiguous
+/// from 1, ranges tile L from offset 0, every chain digest recomputes.
+/// A missing file is an empty chain, not an error.
+Result<std::vector<SealedEpoch>> ReadEpochChain(const WormStore* worm,
+                                                uint64_t audit_epoch);
+
+// ---------------------------------------------------------- certification
+
+/// Appended to cert_<epoch> after each clean incremental-audit run; the
+/// HMAC (auditor key over epoch|seq|offset|chain digest) is what lets a
+/// reopening cursor trust the marker before re-deriving the state.
+struct CertificationRecord {
+  uint64_t audit_epoch = 0;
+  uint64_t certified_seq = 0;
+  uint64_t certified_offset = 0;
+  Sha256Digest chain_digest{};
+  Sha256Digest mac{};
+
+  std::string Encode() const;
+  static Status Decode(Slice in, CertificationRecord* out, size_t* consumed);
+  Sha256Digest ComputeMac(const std::string& auditor_key) const;
+};
+
+/// Latest marker in cert_<audit_epoch>, NotFound when none exists.
+/// MAC verification is the caller's job (it owns the key).
+Result<CertificationRecord> ReadLastCertification(const WormStore* worm,
+                                                  uint64_t audit_epoch);
+
+// ----------------------------------------------------------------- sealer
+
+/// Turns durable L prefixes into sealed epochs. Thread-safe: the commit
+/// pipeline's epoch leader calls SealThrough outside all engine locks,
+/// and the serial path calls it from the regret tick.
+class EpochSealer {
+ public:
+  explicit EpochSealer(WormStore* worm) : worm_(worm) {}
+
+  /// Loads chain_<audit_epoch> and positions the seal high-water mark at
+  /// its tail. Must be called before SealThrough; called again after a
+  /// full audit rolls the epoch.
+  Status Attach(uint64_t audit_epoch);
+
+  /// Seals [sealed_offset, durable_offset) as one epoch. No-op when the
+  /// target is at or behind the high-water mark. `durable_offset` must be
+  /// a record boundary already durable on WORM (commit-epoch barrier
+  /// targets and logger full-flush points both qualify).
+  Status SealThrough(uint64_t durable_offset);
+
+  uint64_t sealed_seq() const;
+  uint64_t sealed_offset() const;
+  Sha256Digest head() const;  // last chain digest, or the seed
+
+ private:
+  mutable std::mutex mu_;
+  WormStore* worm_;
+  uint64_t epoch_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t offset_ = 0;
+  Sha256Digest head_{};
+  bool attached_ = false;
+  bool have_file_ = false;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_AUDIT_EPOCH_CHAIN_H_

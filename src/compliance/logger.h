@@ -100,6 +100,13 @@ class ComplianceLogger : public IoHook,
   /// No-op when disabled or before an epoch is attached.
   Status FlushLog();
 
+  /// Current size of L in bytes, taken under the logger mutex — always a
+  /// record boundary, so it is a valid epoch-seal target.
+  uint64_t LogSize() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ == nullptr ? 0 : log_->size();
+  }
+
   // --- IoHook ---
   Status OnPageRead(PageId pgno, const Page& image) override;
   Status OnPageWrite(PageId pgno, const Page& image) override;

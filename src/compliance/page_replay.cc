@@ -166,6 +166,58 @@ void PageReplayer::AbsorbShard(PageReplayer&& other) {
   migrated_delta_.Merge(other.migrated_delta_);
 }
 
+void PageReplayer::AbsorbWindowShard(PageReplayer&& other,
+                                     const std::vector<PageKey>& touched_pages,
+                                     const std::vector<PageKey>& touched_index) {
+  for (const auto& key : touched_pages) {
+    if (!other.Owns(key.first, key.second)) continue;
+    auto it = other.pages_.find(key);
+    if (it != other.pages_.end()) {
+      pages_[key] = std::move(it->second);
+    } else {
+      pages_.erase(key);
+    }
+  }
+  for (const auto& key : touched_index) {
+    if (!other.Owns(key.first, key.second)) continue;
+    auto it = other.index_pages_.find(key);
+    if (it != other.index_pages_.end()) {
+      index_pages_[key] = std::move(it->second);
+    } else {
+      index_pages_.erase(key);
+    }
+  }
+  tree_roots_.insert(other.tree_roots_.begin(), other.tree_roots_.end());
+  for (auto& m : other.migrations_) migrations_.push_back(std::move(m));
+  for (size_t i = 0; i < other.problems_.size(); ++i) {
+    problems_.push_back(std::move(other.problems_[i]));
+    problem_offsets_.push_back(other.problem_offsets_[i]);
+  }
+  for (auto& p : other.pending_move_checks_) {
+    pending_move_checks_.push_back(std::move(p));
+  }
+  read_hashes_checked_ += other.read_hashes_checked_;
+  identity_delta_.Merge(other.identity_delta_);
+  migrated_delta_.Merge(other.migrated_delta_);
+}
+
+void PageReplayer::ResolvePendingMoves() {
+  if (pending_move_checks_.empty() || summary_ == nullptr) return;
+  std::set<std::string> present;
+  for (const auto& [key, state] : pages_) {
+    for (const auto& [order_no, rec] : state) {
+      auto id = TupleIdentity(key.first, rec, summary_->stamps);
+      if (id.ok()) present.insert(id.value());
+    }
+  }
+  pending_move_checks_.erase(
+      std::remove_if(pending_move_checks_.begin(), pending_move_checks_.end(),
+                     [&present](const std::pair<std::string, uint64_t>& p) {
+                       return present.count(p.first) != 0;
+                     }),
+      pending_move_checks_.end());
+}
+
 void PageReplayer::FinishMerge() {
   std::stable_sort(
       migrations_.begin(), migrations_.end(),

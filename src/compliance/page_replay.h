@@ -123,6 +123,27 @@ class PageReplayer {
   /// serial problem list byte for byte.
   void FinishMerge();
 
+  /// Incremental-audit variant of AbsorbShard: folds a *window* shard —
+  /// an ephemeral replayer that was seeded with this replayer's current
+  /// state for `touched_pages`/`touched_index` and then applied one
+  /// sealed epoch's records — back into this long-lived state. Unlike
+  /// AbsorbShard the maps are NOT disjoint: for every touched key the
+  /// shard owns, the shard's version *overwrites* ours, and a key the
+  /// shard no longer holds is *erased* (ROOT_GROW deletes the old root's
+  /// leaf state). Non-page artifacts (deltas, problems, pending checks)
+  /// concatenate as in AbsorbShard; call FinishMerge afterwards.
+  void AbsorbWindowShard(PageReplayer&& other,
+                         const std::vector<PageKey>& touched_pages,
+                         const std::vector<PageKey>& touched_index);
+
+  /// Incremental-audit variant of Finalize: resolves the pending UNDO
+  /// justifications that the final state *can* answer (the moved tuple is
+  /// present again) and keeps the rest pending — mid-chain, the
+  /// justifying SHREDDED or page move may simply not be sealed yet. The
+  /// full audit's Finalize remains the authoritative reporter for
+  /// justifications that never arrive.
+  void ResolvePendingMoves();
+
   /// Verify mode: run after the full scan. Resolves deferred UNDO
   /// justifications — a stamped tuple's UNDO with no SHREDDED record is
   /// legitimate only if the tuple still exists elsewhere in the final

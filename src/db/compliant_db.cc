@@ -1,10 +1,12 @@
 #include "db/compliant_db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "btree/integrity.h"
 #include "db/snapshot_reader.h"
@@ -226,6 +228,38 @@ Status CompliantDB::Init() {
     }
     pipeline_ = std::make_unique<CommitPipeline>(std::move(barrier));
     txns_->SetPipeline(pipeline_.get());
+  }
+
+  // Epoch sealing (DESIGN.md, "Incremental certification"): every durable
+  // commit epoch extends the hash chain on WORM, making it an audit unit.
+  // A pre-existing chain that fails verification disables sealing for
+  // this run rather than blocking the open — the auditor owns the tamper
+  // verdict, and a database that cannot open cannot be audited online.
+  if (options_.compliance.enabled && !options_.read_only) {
+    sealer_ = std::make_unique<EpochSealer>(worm_.get());
+    Status attach = sealer_->Attach(epoch_);
+    if (!attach.ok()) {
+      std::fprintf(stderr, "complydb: epoch sealing disabled: %s\n",
+                   attach.ToString().c_str());
+      sealer_.reset();
+    } else if (pipeline_ != nullptr) {
+      // The epoch leader seals right after its durability barrier, outside
+      // every pipeline lock. The hook must never fail the commit: a seal
+      // error only delays certification, and the next barrier retries.
+      EpochSealer* sealer = sealer_.get();
+      const uint64_t min_bytes = options_.seal_min_bytes;
+      pipeline_->set_seal_fn([sealer, min_bytes](uint64_t offset) {
+        if (min_bytes != 0 &&
+            offset < sealer->sealed_offset() + min_bytes) {
+          return;
+        }
+        Status seal = sealer->SealThrough(offset);
+        if (!seal.ok()) {
+          std::fprintf(stderr, "complydb: epoch seal failed: %s\n",
+                       seal.ToString().c_str());
+        }
+      });
+    }
   }
 
   hist_ = std::make_unique<HistoricalStore>(worm_.get());
@@ -752,7 +786,7 @@ Status CompliantDB::ScanCurrent(
 // --- snapshot reads --------------------------------------------------
 
 Result<SnapshotReader*> CompliantDB::BeginSnapshot() {
-  return new SnapshotReader(txns_.get(), hist_.get(),
+  return new SnapshotReader(this, txns_.get(), hist_.get(),
                             txns_->last_commit_time(), &open_snapshots_);
 }
 
@@ -854,6 +888,12 @@ Status CompliantDB::MaybeRegretTick() {
   if (options_.compliance.enabled) {
     CDB_RETURN_IF_ERROR(logger_->Tick(now));
     CDB_RETURN_IF_ERROR(RotateTxTail());
+    // The serial engine has no epoch leader, so the regret tick doubles
+    // as its seal point: the chain keeps pace with the regret window.
+    // (With a pipeline the leader already seals per durability barrier.)
+    if (sealer_ != nullptr && pipeline_ == nullptr) {
+      CDB_RETURN_IF_ERROR(SealEpochNow());
+    }
   }
   obs::TraceRing::Global().Emit(obs::TraceEventType::kRegretTick,
                                 disk_->writes() - writes_before);
@@ -940,6 +980,16 @@ Result<AuditReport> CompliantDB::Audit() {
 }
 
 Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
+  AuditOptions overrides;
+  overrides.num_threads = num_threads;
+  return AuditInternal(overrides);
+}
+
+Result<AuditReport> CompliantDB::Audit(const AuditOptions& overrides) {
+  return AuditInternal(overrides);
+}
+
+Result<AuditReport> CompliantDB::AuditInternal(const AuditOptions& overrides) {
   if (!options_.compliance.enabled) {
     return Status::NotSupported("compliance logging is disabled");
   }
@@ -947,7 +997,7 @@ Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
     return Status::NotSupported(
         "read-only open: use the standalone cdb_audit tool");
   }
-  {
+  auto quiescent = [this]() -> Status {
     const int snapshots = open_snapshots_.load(std::memory_order_acquire);
     uint64_t writers = txns_->HasActiveTxn() ? 1 : 0;
     if (pipeline_ != nullptr) {
@@ -958,14 +1008,32 @@ Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
                           std::to_string(snapshots) + " snapshots open, " +
                           std::to_string(writers) + " writers in flight)");
     }
+    return Status::OK();
+  };
+  Status quiet = quiescent();
+  if (!quiet.ok() && overrides.wait_for_quiesce) {
+    // Poll on wall time, not the database clock: simulated clocks only
+    // advance on demand, and the snapshots we wait on are wall-clock
+    // events (another thread releasing its handle).
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(overrides.quiesce_deadline_micros);
+    while (!quiet.ok() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      quiet = quiescent();
+    }
   }
+  if (!quiet.ok()) return quiet;
   // Quiesce: lazy updates reach disk, everything flushed.
   CDB_RETURN_IF_ERROR(FlushAll());
 
   AuditOptions opts;
   opts.auditor_key = options_.auditor_key;
-  opts.verify_read_hashes = options_.compliance.hash_on_read;
-  opts.identity_hash_check = true;
+  opts.verify_read_hashes =
+      overrides.verify_read_hashes && options_.compliance.hash_on_read;
+  opts.identity_hash_check = overrides.identity_hash_check;
+  opts.sort_merge_check = overrides.sort_merge_check;
+  opts.gap_slack = overrides.gap_slack;
   opts.regret_interval_micros = options_.compliance.regret_interval_micros;
   opts.wal_path = wal_path();
   opts.retention_resolver = MakeRetentionResolver();
@@ -974,7 +1042,7 @@ Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
                                uint64_t at_time) {
     return holds->IsHeld(tree_id, key, at_time);
   };
-  opts.num_threads = num_threads;
+  opts.num_threads = overrides.num_threads;
 
   Auditor auditor(opts, worm_.get(), disk_.get());
   auto report = auditor.Audit(epoch_, /*write_snapshot=*/true);
@@ -997,8 +1065,183 @@ Result<AuditReport> CompliantDB::Audit(uint32_t num_threads) {
     CDB_RETURN_IF_ERROR(logger_->StartFreshEpoch(epoch_));
     txtail_seq_ = 0;
     CDB_RETURN_IF_ERROR(RotateTxTail());
+    // The chain and certification cursor restart with the fresh epoch:
+    // the full audit just re-established trust from first principles, so
+    // the old chain (released above) has nothing left to certify.
+    std::lock_guard<std::mutex> lock(cert_mu_);
+    cursor_.reset();
+    last_incremental_us_.store(0, std::memory_order_relaxed);
+    if (sealer_ != nullptr) {
+      CDB_RETURN_IF_ERROR(sealer_->Attach(epoch_));
+    }
   }
   return report;
+}
+
+// --- incremental certification ----------------------------------------
+
+namespace {
+obs::Gauge* BacklogGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("audit.epoch.backlog");
+  return g;
+}
+}  // namespace
+
+Status CompliantDB::SealEpochNow() {
+  if (!options_.compliance.enabled || options_.read_only) {
+    return Status::NotSupported("epoch sealing requires live compliance");
+  }
+  if (sealer_ == nullptr) {
+    return Status::NotSupported("epoch sealing is disabled");
+  }
+  const uint64_t size = logger_->LogSize();
+  if (size == 0) return Status::OK();
+  // Seal only durable bytes: a sealed range that a crash could shorten
+  // would read back as tampering.
+  CDB_RETURN_IF_ERROR(logger_->WaitCommitDurable(size));
+  return sealer_->SealThrough(size);
+}
+
+Status CompliantDB::EnsureCursorLocked() {
+  if (cursor_ != nullptr) return Status::OK();
+  AuditCursor::Options copts;
+  copts.auditor_key = options_.auditor_key;
+  copts.verify_read_hashes = options_.compliance.hash_on_read;
+  auto cursor = std::make_unique<AuditCursor>(copts, worm_.get());
+  CDB_RETURN_IF_ERROR(cursor->Attach(epoch_));
+  cursor_ = std::move(cursor);
+  return Status::OK();
+}
+
+Result<IncrementalAuditReport> CompliantDB::AuditIncremental() {
+  uint32_t threads = options_.audit_threads;
+  if (const char* env = std::getenv("COMPLYDB_AUDIT_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') threads = static_cast<uint32_t>(v);
+  }
+  return AuditIncremental(threads);
+}
+
+Result<IncrementalAuditReport> CompliantDB::AuditIncremental(
+    uint32_t num_threads) {
+  if (!options_.compliance.enabled) {
+    return Status::NotSupported("compliance logging is disabled");
+  }
+  if (options_.read_only) {
+    return Status::NotSupported(
+        "read-only open: use the standalone cdb_audit tool");
+  }
+  if (sealer_ == nullptr) {
+    return Status::NotSupported("epoch sealing is disabled");
+  }
+  // No quiescence: sealing the tail and certifying the delta both run
+  // against immutable L prefixes while readers and writers continue.
+  CDB_RETURN_IF_ERROR(SealEpochNow());
+
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  CDB_RETURN_IF_ERROR(EnsureCursorLocked());
+  auto chain = ReadEpochChain(worm_.get(), epoch_);
+  if (!chain.ok()) {
+    if (!chain.status().IsTampered() && !chain.status().IsCorruption()) {
+      return chain.status();
+    }
+    // A chain that no longer verifies is a finding, not an error.
+    IncrementalAuditReport rep;
+    rep.problems.push_back(chain.status().ToString());
+    rep.all_problems = cursor_->problems();
+    rep.all_problems.push_back(chain.status().ToString());
+    rep.certified_seq = cursor_->certified_seq();
+    rep.certified_offset = cursor_->certified_offset();
+    rep.chain_root = cursor_->certified_root();
+    return rep;
+  }
+  auto rep = [&]() -> Result<IncrementalAuditReport> {
+    obs::ScopedSpan span(obs::SpanKind::kAuditIncremental, epoch_,
+                         chain.value().size() - cursor_->certified_seq());
+    return cursor_->CertifyThrough(chain.value(), num_threads);
+  }();
+  if (!rep.ok()) return rep.status();
+  if (rep.value().ok()) {
+    CDB_RETURN_IF_ERROR(cursor_->PersistCertification());
+  }
+  last_incremental_us_.store(
+      static_cast<uint64_t>(rep.value().seconds * 1e6),
+      std::memory_order_relaxed);
+  BacklogGauge()->Set(static_cast<int64_t>(sealer_->sealed_seq() -
+                                           cursor_->certified_seq()));
+  return rep;
+}
+
+Result<IncrementalAuditReport> CompliantDB::AuditFullReplay(
+    uint32_t num_threads) {
+  if (!options_.compliance.enabled) {
+    return Status::NotSupported("compliance logging is disabled");
+  }
+  if (options_.read_only) {
+    return Status::NotSupported(
+        "read-only open: use the standalone cdb_audit tool");
+  }
+  if (sealer_ == nullptr) {
+    return Status::NotSupported("epoch sealing is disabled");
+  }
+  CDB_RETURN_IF_ERROR(SealEpochNow());
+  AuditCursor::Options copts;
+  copts.auditor_key = options_.auditor_key;
+  copts.verify_read_hashes = options_.compliance.hash_on_read;
+  AuditCursor cursor(copts, worm_.get());
+  CDB_RETURN_IF_ERROR(cursor.AttachFresh(epoch_));
+  auto chain = ReadEpochChain(worm_.get(), epoch_);
+  if (!chain.ok()) {
+    if (!chain.status().IsTampered() && !chain.status().IsCorruption()) {
+      return chain.status();
+    }
+    IncrementalAuditReport rep;
+    rep.problems.push_back(chain.status().ToString());
+    rep.all_problems = rep.problems;
+    return rep;
+  }
+  return cursor.CertifyThrough(chain.value(), num_threads);
+}
+
+uint64_t CompliantDB::CertifiedEpoch() {
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  if (cursor_ == nullptr && !EnsureCursorLocked().ok()) return 0;
+  return cursor_->certified_seq();
+}
+
+Result<CompliantDB::CertificationStatus> CompliantDB::Certification() {
+  CertificationStatus cs;
+  cs.enabled = options_.compliance.enabled && !options_.read_only &&
+               sealer_ != nullptr;
+  cs.audit_epoch = epoch_;
+  if (!cs.enabled) return cs;
+  cs.log_size = logger_->LogSize();
+  cs.sealed_seq = sealer_->sealed_seq();
+  cs.sealed_offset = sealer_->sealed_offset();
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  CDB_RETURN_IF_ERROR(EnsureCursorLocked());
+  cs.certified_seq = cursor_->certified_seq();
+  cs.certified_offset = cursor_->certified_offset();
+  cs.backlog_epochs = cs.sealed_seq - cs.certified_seq;
+  cs.backlog_bytes =
+      cs.log_size > cs.certified_offset ? cs.log_size - cs.certified_offset
+                                        : 0;
+  cs.last_incremental_us = last_incremental_us_.load(std::memory_order_relaxed);
+  cs.chain_root = cursor_->certified_root();
+  return cs;
+}
+
+Result<InclusionProof> CompliantDB::ProveInclusion(uint32_t table, Slice key,
+                                                   Slice value,
+                                                   uint64_t commit_time) {
+  if (!options_.compliance.enabled) {
+    return Status::NotSupported("compliance logging is disabled");
+  }
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  CDB_RETURN_IF_ERROR(EnsureCursorLocked());
+  return cursor_->ProveInclusion(table, key, value, commit_time);
 }
 
 }  // namespace complydb

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "audit/audit_cursor.h"
 #include "audit/auditor.h"
+#include "audit/epoch_chain.h"
 #include "btree/btree.h"
 #include "common/clock.h"
 #include "compliance/logger.h"
@@ -96,6 +99,13 @@ struct DbOptions {
   /// this (CI uses it to exercise the parallel path everywhere). The
   /// report is byte-identical at any thread count.
   uint32_t audit_threads = 1;
+
+  /// Minimum new L bytes before the commit pipeline's epoch leader seals
+  /// another audit epoch (see DESIGN.md, "Incremental certification").
+  /// 0 = seal on every durability barrier — the finest audit granularity
+  /// and the default; raise it to coalesce tiny commit epochs into fewer,
+  /// larger sealed epochs when Merkle hashing on the leader path matters.
+  uint64_t seal_min_bytes = 0;
 
   /// Writer threads the epoch-based commit pipeline admits (see
   /// DESIGN.md, "The epoch/sequencer commit pipeline"). 1 = the serial
@@ -226,8 +236,65 @@ class CompliantDB {
   /// the overload pins a specific worker count for this run.
   Result<AuditReport> Audit();
   Result<AuditReport> Audit(uint32_t num_threads);
+  /// Full audit honoring caller-tuned AuditOptions knobs. The facade owns
+  /// key/paths/resolvers; what it honors from `overrides` is num_threads
+  /// (0 = hardware_concurrency), wait_for_quiesce and
+  /// quiesce_deadline_micros (poll for quiescence on wall time instead of
+  /// returning Busy immediately), and the verification toggles.
+  Result<AuditReport> Audit(const AuditOptions& overrides);
   uint64_t epoch() const { return epoch_; }
   uint64_t last_audit_time() const { return last_audit_time_; }
+
+  // --- incremental certification (online audit; DESIGN.md §"Incremental
+  // certification") ---
+  /// Forces an epoch seal covering everything appended to L so far: makes
+  /// L durable through its current size, then seals through that offset.
+  /// No-op when compliance is disabled or nothing new was appended.
+  Status SealEpochNow();
+
+  /// Certifies every sealed-but-uncertified epoch by replaying only the
+  /// delta since the last certified epoch — O(delta), not O(|L|) — while
+  /// readers and the multi-writer pipeline keep running (no quiescence).
+  /// Seals the L tail first so the freshest commits are certifiable. On a
+  /// clean run the certification marker is persisted to WORM, shrinking
+  /// the trusted base to the latest certified chain root. Detected
+  /// tampering surfaces as report problems (ok() == false), never as an
+  /// error status. The overload pins the worker count for this run.
+  Result<IncrementalAuditReport> AuditIncremental();
+  Result<IncrementalAuditReport> AuditIncremental(uint32_t num_threads);
+
+  /// Reference cross-check for the incremental path: replays the WHOLE
+  /// certified chain from the epoch-seed state with a fresh cursor
+  /// (ignoring any persisted certification marker) and returns the same
+  /// report shape. Incremental and full-replay runs over the same chain
+  /// are asserted verdict-equivalent in tests.
+  Result<IncrementalAuditReport> AuditFullReplay(uint32_t num_threads);
+
+  /// Highest sealed-epoch sequence number certified so far (0 = none).
+  uint64_t CertifiedEpoch();
+
+  struct CertificationStatus {
+    bool enabled = false;         // compliance on and sealing wired
+    uint64_t audit_epoch = 0;     // full-audit epoch the chain lives in
+    uint64_t sealed_seq = 0;      // sealed epochs in the chain
+    uint64_t sealed_offset = 0;   // L bytes covered by sealed epochs
+    uint64_t certified_seq = 0;   // certified prefix of the chain
+    uint64_t certified_offset = 0;
+    uint64_t log_size = 0;        // current |L|
+    uint64_t backlog_epochs = 0;  // sealed - certified
+    uint64_t backlog_bytes = 0;   // log_size - certified_offset
+    uint64_t last_incremental_us = 0;  // duration of the last run (0 = none)
+    Sha256Digest chain_root{};    // last certified chain digest
+  };
+  Result<CertificationStatus> Certification();
+
+  /// Builds a Merkle inclusion proof that version (`key`, `value`,
+  /// `commit_time`) of `table` is committed under the last certified chain
+  /// root. NotFound when nothing is certified yet or the version is newer
+  /// than the certified prefix. Verify client-side with
+  /// VerifyInclusionProof against an independently remembered root.
+  Result<InclusionProof> ProveInclusion(uint32_t table, Slice key,
+                                        Slice value, uint64_t commit_time);
 
   // --- statistics ---
   struct TableStats {
@@ -295,6 +362,11 @@ class CompliantDB {
   Status MaybeRegretTick();
   Status RotateTxTail();
   RetentionResolver MakeRetentionResolver();
+  /// Lazily attaches the certification cursor to the current epoch
+  /// (caller holds cert_mu_). Resets and re-attaches after a full audit
+  /// bumps the epoch.
+  Status EnsureCursorLocked();
+  Result<AuditReport> AuditInternal(const AuditOptions& overrides);
 
   DbOptions options_;
   std::unique_ptr<Clock> owned_clock_;
@@ -333,6 +405,15 @@ class CompliantDB {
   uint32_t next_tree_id_ = 1;
   uint32_t expiry_tree_id_ = 0;
   uint32_t holds_tree_id_ = 0;
+
+  // --- incremental certification state ---
+  // Lock order: cert_mu_ -> sealer's internal mutex -> worm mutex. The
+  // pipeline's seal hook takes only the sealer mutex, so it never crosses
+  // cert_mu_ and readers/writers stay independent of certification runs.
+  std::unique_ptr<EpochSealer> sealer_;
+  std::mutex cert_mu_;
+  std::unique_ptr<AuditCursor> cursor_;  // guarded by cert_mu_
+  std::atomic<uint64_t> last_incremental_us_{0};
 
   uint64_t epoch_ = 0;
   uint64_t last_audit_time_ = 0;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "db/compliant_db.h"
 #include "obs/metrics.h"
 
 namespace complydb {
@@ -28,9 +29,11 @@ SnapMetrics& Sm() {
 }
 }  // namespace
 
-SnapshotReader::SnapshotReader(TransactionManager* txns, HistoricalStore* hist,
-                               uint64_t snap, std::atomic<int>* open_count)
-    : txns_(txns), hist_(hist), snap_(snap), open_count_(open_count) {
+SnapshotReader::SnapshotReader(CompliantDB* db, TransactionManager* txns,
+                               HistoricalStore* hist, uint64_t snap,
+                               std::atomic<int>* open_count)
+    : db_(db), txns_(txns), hist_(hist), snap_(snap),
+      open_count_(open_count) {
   open_count_->fetch_add(1, std::memory_order_acq_rel);
   Sm().begins->Inc();
   Sm().open_snapshots->Add(1);
@@ -93,6 +96,43 @@ Status SnapshotReader::GetAsOf(uint32_t table, Slice key, uint64_t time,
     return Status::NotFound("no version as of time");
   }
   *value = best->value;
+  return Status::OK();
+}
+
+Status SnapshotReader::GetWithProof(uint32_t table, Slice key,
+                                    std::string* value, uint64_t* commit_time,
+                                    InclusionProof* proof) const {
+  obs::ScopedLatencyTimer timer(Sm().get_us);
+  Btree* tree = txns_->GetTree(table);
+  if (tree == nullptr) return Status::InvalidArgument("unknown table");
+  Sm().reads->Inc();
+  // Same version pick as GetAsOf, but the winning commit time is kept:
+  // the proof binds (key, value, commit time) as one unit.
+  std::vector<TupleData> versions;
+  CDB_RETURN_IF_ERROR(tree->GetVersions(key, &versions));
+  if (hist_ != nullptr) {
+    for (auto& h : hist_->GetVersions(table, key)) {
+      versions.push_back(std::move(h));
+    }
+  }
+  const TupleData* best = nullptr;
+  uint64_t best_time = 0;
+  for (const auto& v : versions) {
+    uint64_t commit;
+    if (!ResolveVisible(v, snap_, &commit)) continue;
+    if (best == nullptr || commit >= best_time) {
+      best = &v;
+      best_time = commit;
+    }
+  }
+  if (best == nullptr || best->eol) {
+    return Status::NotFound("no version as of time");
+  }
+  auto proven = db_->ProveInclusion(table, best->key, best->value, best_time);
+  if (!proven.ok()) return proven.status();
+  *value = best->value;
+  *commit_time = best_time;
+  *proof = proven.TakeValue();
   return Status::OK();
 }
 

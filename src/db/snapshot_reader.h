@@ -6,12 +6,15 @@
 #include <functional>
 #include <string>
 
+#include "audit/audit_cursor.h"
 #include "btree/tuple.h"
 #include "common/status.h"
 #include "tsb/tsb_policy.h"
 #include "txn/transaction_manager.h"
 
 namespace complydb {
+
+class CompliantDB;
 
 /// A read-only view of the database pinned at a commit timestamp.
 ///
@@ -51,16 +54,28 @@ class SnapshotReader {
   Status ScanCurrent(uint32_t table, Slice begin, Slice end,
                      const std::function<Status(const TupleData&)>& fn) const;
 
+  /// Get that does not trust the engine it is reading: alongside the
+  /// value, it demands a Merkle inclusion proof that this exact version
+  /// (key, value, commit time) is committed under the last certified
+  /// chain root. Verify client-side with VerifyInclusionProof against an
+  /// independently remembered root. NotFound if the key has no visible
+  /// version, or if its visible version is newer than the certified
+  /// prefix (run AuditIncremental and retry).
+  Status GetWithProof(uint32_t table, Slice key, std::string* value,
+                      uint64_t* commit_time, InclusionProof* proof) const;
+
  private:
   friend class CompliantDB;
 
-  SnapshotReader(TransactionManager* txns, HistoricalStore* hist,
-                 uint64_t snap, std::atomic<int>* open_count);
+  SnapshotReader(CompliantDB* db, TransactionManager* txns,
+                 HistoricalStore* hist, uint64_t snap,
+                 std::atomic<int>* open_count);
 
   /// True if `v` committed at or before `limit`; outputs its commit time.
   bool ResolveVisible(const TupleData& v, uint64_t limit,
                       uint64_t* commit) const;
 
+  CompliantDB* db_;
   TransactionManager* txns_;
   HistoricalStore* hist_;
   uint64_t snap_;

@@ -50,6 +50,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kShipperWormFlush: return "shipper.worm_flush";
     case SpanKind::kAuditPhase: return "audit.phase";
     case SpanKind::kTsbMigrate: return "tsb.migrate";
+    case SpanKind::kEpochSeal: return "audit.epoch.seal";
+    case SpanKind::kAuditIncremental: return "audit.incremental";
     case SpanKind::kSpanKindCount: break;
   }
   return "?";

@@ -59,6 +59,8 @@ enum class SpanKind : uint8_t {
   kShipperWormFlush,  // causal = batch id
   kAuditPhase,        // causal = epoch, arg = AuditPhase
   kTsbMigrate,        // causal = tree id, arg = live page id
+  kEpochSeal,         // causal = sealed-epoch seq, arg = L bytes sealed
+  kAuditIncremental,  // causal = audit epoch, arg = epochs certified
   kSpanKindCount,
 };
 

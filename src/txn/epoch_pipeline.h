@@ -117,6 +117,15 @@ class CommitPipeline {
   /// Epochs flushed so far (leader barrier runs).
   uint64_t epochs() const { return epoch_seq_.load(std::memory_order_relaxed); }
 
+  /// Post-barrier hook, run by the epoch leader after its barrier
+  /// succeeded, outside every pipeline lock, with the L offset the
+  /// barrier made durable. CompliantDB wires the epoch sealer here so
+  /// each durable commit epoch becomes a sealed audit epoch. Must be set
+  /// before the first commit (not thread-safe against in-flight slots)
+  /// and must never fail the commit — the hook returns nothing.
+  using SealFn = std::function<void(uint64_t offset)>;
+  void set_seal_fn(SealFn fn) { seal_ = std::move(fn); }
+
  private:
   struct SlotContext;
   static SlotContext& Tls();
@@ -126,6 +135,7 @@ class CommitPipeline {
   Status WaitEpochDurable(uint64_t offset);
 
   BarrierFn barrier_;
+  SealFn seal_;
 
   // --- turnstile ---
   mutable std::mutex mu_;

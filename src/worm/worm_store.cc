@@ -1,5 +1,6 @@
 #include "worm/worm_store.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -282,16 +283,37 @@ Status WormStore::ReadAll(const std::string& name, std::string* out) const {
 
 Status WormStore::ReadAt(const std::string& name, uint64_t offset, size_t n,
                          std::string* out) const {
-  std::string all;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    CDB_RETURN_IF_ERROR(ReadAllLocked(name, &all));
+  // Seek-based ranged read: the incremental auditor re-reads only the
+  // delta window of L per certification, so pulling the whole file just
+  // to substr it would make every "O(delta)" read O(total L).
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  auto it = meta_.find(name);
+  if (it == meta_.end()) return Status::NotFound("worm: no such file: " + name);
+  // Drain our own append buffer so the read observes every issued append,
+  // exactly as ReadAll does.
+  auto handle = handles_.find(name);
+  if (handle != handles_.end()) {
+    if (std::fflush(handle->second) != 0) {
+      return Status::IOError("worm: append flush " + name);
+    }
+    it->second.durable_size = it->second.size;
   }
-  if (offset >= all.size()) {
-    out->clear();
-    return Status::OK();
+  if (offset >= it->second.size) return Status::OK();
+  std::ifstream in(PathFor(name), std::ios::binary);
+  if (!in.is_open()) return Status::IOError("worm: read open " + name);
+  size_t want = static_cast<size_t>(
+      std::min<uint64_t>(n, it->second.size - offset));
+  out->resize(want);
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(out->data(), static_cast<std::streamsize>(want));
+  // The real server would never serve fewer bytes than its recorded size
+  // covers; a short read means the backing directory was edited
+  // out-of-band, which the emulation reports as tampering.
+  if (static_cast<size_t>(in.gcount()) < want) {
+    out->resize(static_cast<size_t>(std::max<std::streamsize>(in.gcount(), 0)));
+    return Status::Tampered("worm: file shorter than recorded size: " + name);
   }
-  *out = all.substr(offset, n);
   return Status::OK();
 }
 

@@ -9,6 +9,9 @@
 //   cdb_audit <db-dir> [--key=<auditor-key>] [--epoch=<n>]
 //             [--regret-minutes=<m>] [--no-read-hashes] [--sort-merge]
 //             [--write-snapshot] [--threads=<n>]
+//
+// Exit codes (stable CLI contract, see AuditExitCode): 0 compliant,
+// 1 tampering/corruption, 2 usage, 3 busy, 4 I/O or other error.
 
 #include <cstdio>
 #include <cstring>
@@ -104,7 +107,7 @@ int main(int argc, char** argv) {
                  "usage: cdb_audit <db-dir> [--key=K] [--epoch=N] "
                  "[--regret-minutes=M] [--no-read-hashes] [--sort-merge] "
                  "[--write-snapshot] [--threads=N]\n");
-    return 2;
+    return kAuditExitUsage;
   }
 
   SystemClock clock;
@@ -112,14 +115,14 @@ int main(int argc, char** argv) {
   if (!worm.ok()) {
     std::fprintf(stderr, "worm store: %s\n",
                  worm.status().ToString().c_str());
-    return 2;
+    return AuditExitCodeForStatus(worm.status());
   }
   std::unique_ptr<WormStore> worm_store(worm.value());
 
   auto disk = DiskManager::Open(args.dir + "/data.db");
   if (!disk.ok()) {
     std::fprintf(stderr, "database: %s\n", disk.status().ToString().c_str());
-    return 2;
+    return AuditExitCodeForStatus(disk.status());
   }
   std::unique_ptr<DiskManager> disk_mgr(disk.value());
 
@@ -134,7 +137,7 @@ int main(int argc, char** argv) {
     }
     if (!found) {
       std::fprintf(stderr, "no compliance log found on WORM\n");
-      return 2;
+      return kAuditExitIoError;
     }
   }
 
@@ -189,7 +192,7 @@ int main(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "audit error: %s\n",
                  report.status().ToString().c_str());
-    return 2;
+    return AuditExitCodeForStatus(report.status());
   }
   const AuditReport& r = report.value();
   std::printf("epoch:               %llu\n",
@@ -214,12 +217,12 @@ int main(int argc, char** argv) {
               r.timings.index_check_seconds);
   if (r.ok()) {
     std::printf("verdict:             COMPLIANT\n");
-    return 0;
+    return kAuditExitCompliant;
   }
   std::printf("verdict:             TAMPERING DETECTED (%zu findings)\n",
               r.problems.size());
   for (const auto& p : r.problems) {
     std::printf("  - %s\n", p.c_str());
   }
-  return 1;
+  return kAuditExitTampered;
 }

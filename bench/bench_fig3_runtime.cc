@@ -29,13 +29,17 @@
 // With --write-threads the binary runs the multi-writer commit-pipeline
 // sweep: the same full-mix slot schedule (RunMixConcurrent, pure function
 // of the seed) executed by N = 1, 2, 4 writer threads against the
-// simulated network WORM filer. The pipeline amortizes the WORM round
-// trip across an epoch, so commit throughput scales while the compliance
-// log stays byte-identical — the sweep verifies both and writes
+// simulated network WORM filer, each multi-writer point A/B'd with the
+// disjoint-slot scheduler on ("disjoint") and off ("turnstile").
+// --cross-rate sets the cross-warehouse rate in basis points (-1 keeps
+// the TPC-C spec rates): higher rates mean more multi-partition
+// footprints, which fall back to exclusive admission and shrink the
+// disjoint gain. Throughput scales while the compliance log stays
+// byte-identical across *all* runs — the sweep verifies both and writes
 // BENCH_write_scaling.json (baseline: bench/baselines/
 // BENCH_write_scaling.seed.json).
 //
-//   ./bench_fig3_runtime --write-threads [slots]
+//   ./bench_fig3_runtime --write-threads [slots] [--cross-rate bp]
 
 #include <atomic>
 #include <cstring>
@@ -456,6 +460,7 @@ int RunReadScalingSweep(uint64_t window_ms) {
 
 struct WriteScalingResult {
   uint32_t write_threads = 0;
+  const char* mode = "serial";  // serial | turnstile | disjoint
   double elapsed_seconds = 0;
   uint64_t commits = 0;
   double commits_per_sec = 0;
@@ -466,36 +471,51 @@ struct WriteScalingResult {
   uint64_t latch_waits = 0;
   uint64_t worm_flushes = 0;
   uint64_t rollbacks = 0;
+  uint64_t admitted_concurrent = 0;
+  uint64_t serialized = 0;
+  uint64_t footprint_fallbacks = 0;
+  uint64_t conflict_waits = 0;
   size_t log_bytes = 0;
   bool log_identical = true;
   bool audit_ok = false;
   std::string log_content;  // compared across points, not serialized
 };
 
-int RunWriteScalingPoint(uint32_t write_threads, uint64_t slots,
+int RunWriteScalingPoint(uint32_t write_threads, bool scheduler_on,
+                         uint64_t slots, int64_t cross_bp,
                          WriteScalingResult* out) {
   tpcc::Scale scale;
-  scale.warehouses = 2;
-  // The commit-path regime, multi-writer edition: a large cache keeps
-  // evictions (whose dependent-pwrite barriers would serialize inside the
-  // turnstile) rare, the 100 us WORM flush models the network filer round
-  // trip, and the 10 ms group-commit window means every flush is an
-  // epoch barrier, never a timer expiry. At write_threads=1 each commit
-  // pays its own round trip (durable-on-return through the shipper); the
-  // pipeline instead closes a slot with one barrier per *epoch*, so N
-  // writers share a flush and overlap their waits — that amortization is
-  // the speedup under measurement, CPU count notwithstanding.
-  auto env = TpccEnv::Create(BenchDir("write_scaling"), Mode::kLogConsistent,
-                             /*cache_pages=*/2048, scale, /*seed=*/1234,
-                             /*tsb=*/false, /*tsb_threshold=*/0.5,
-                             /*io_latency_micros=*/0, /*async_shipping=*/true,
-                             /*worm_flush_latency_micros=*/1000,
-                             /*group_commit_window_micros=*/10000,
-                             write_threads);
+  scale.warehouses = 8;
+  // The disjoint-scheduler regime: eight warehouses give concurrent
+  // slots disjoint footprints to declare, the 192-page cache keeps the
+  // database disk-resident, and the asymmetric I/O profile (500 us per
+  // page *read*, free writes) puts the cost where the scheduler can
+  // overlap it — execute-phase reads. Writes replay serially inside the
+  // turnstile either way, so pricing them would only add a fixed serial
+  // term to every arm. The 0.5 ms WORM flush and 10 ms group-commit window
+  // keep the epoch barrier the other amortized cost, as in the original
+  // pipeline sweep. --cross-rate (basis points of cross-warehouse
+  // NewOrder items / remote Payments) dials footprint fallbacks from
+  // none (0) to every-slot (10000): fallback slots admit exclusively, so
+  // the A/B gain decays toward 1.0 as the rate rises.
+  auto env = TpccEnv::Create(
+      BenchDir("write_scaling"), Mode::kLogConsistent,
+      /*cache_pages=*/192, scale, /*seed=*/1234,
+      /*tsb=*/false, /*tsb_threshold=*/0.5,
+      /*io_latency_micros=*/0, /*async_shipping=*/true,
+      /*worm_flush_latency_micros=*/500,
+      /*group_commit_window_micros=*/10000, write_threads,
+      [scheduler_on](DbOptions* options) {
+        options->io_read_latency_micros = 500;
+        options->slot_scheduler = scheduler_on;
+      });
   if (!env.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
                  env.status().ToString().c_str());
     return 1;
+  }
+  if (cross_bp >= 0) {
+    env.value().workload->set_cross_rate_bp(static_cast<int>(cross_bp));
   }
   if (!env.value().Warmup(200).ok()) return 1;
 
@@ -511,6 +531,7 @@ int RunWriteScalingPoint(uint32_t write_threads, uint64_t slots,
   }
 
   out->write_threads = write_threads;
+  out->mode = env.value().db->scheduler_mode();
   out->rollbacks = stats.rollbacks;
   auto snapshot = obs::MetricsRegistry::Global().TakeSnapshot();
   for (const auto& h : snapshot.histograms) {
@@ -527,6 +548,12 @@ int RunWriteScalingPoint(uint32_t write_threads, uint64_t slots,
     if (name == "txn.partition.latch_acquires") out->latch_acquires = value;
     if (name == "txn.partition.latch_waits") out->latch_waits = value;
     if (name == "worm.flushes") out->worm_flushes = value;
+    if (name == "txn.scheduler.admitted_concurrent")
+      out->admitted_concurrent = value;
+    if (name == "txn.scheduler.serialized") out->serialized = value;
+    if (name == "txn.scheduler.footprint_fallbacks")
+      out->footprint_fallbacks = value;
+    if (name == "txn.scheduler.conflict_waits") out->conflict_waits = value;
   }
   if (::getenv("WRITE_SCALING_DEBUG") != nullptr) {
     for (const auto& [name, value] : snapshot.counters) {
@@ -557,64 +584,91 @@ int RunWriteScalingPoint(uint32_t write_threads, uint64_t slots,
   return 0;
 }
 
-int RunWriteScalingSweep(uint64_t slots) {
+int RunWriteScalingSweep(uint64_t slots, int64_t cross_bp) {
   std::printf("=== write scaling: N pipeline writers, full mix "
-              "(%llu slots) ===\n",
-              static_cast<unsigned long long>(slots));
-  std::printf("%13s %10s %9s %12s %8s %12s %12s %10s %8s %9s\n",
-              "write_threads", "elapsed_s", "commits", "commits_per_s",
-              "epochs", "seq_p95_us", "worm_flushes", "latch_wait",
-              "L_bytes", "speedup");
+              "(%llu slots, cross-rate %lld bp) ===\n",
+              static_cast<unsigned long long>(slots),
+              static_cast<long long>(cross_bp));
+  std::printf("%13s %10s %10s %9s %12s %8s %12s %10s %10s %8s %7s %6s\n",
+              "write_threads", "mode", "elapsed_s", "commits",
+              "commits_per_s", "epochs", "worm_flushes", "concurrent",
+              "fallbacks", "L_bytes", "speedup", "gain");
 
+  // Both scheduler arms at each thread count: "turnstile" is PR 6's
+  // exclusive admission, "disjoint" adds concurrent execution for
+  // disjoint-footprint slots. At one writer there is no pipeline, so the
+  // serial point serves as the shared baseline.
   std::vector<WriteScalingResult> sweep;
   bool all_identical = true;
   bool all_audits_ok = true;
+  double gain_4t = 0;
+  double baseline_cps = 0;
   for (uint32_t n : {1u, 2u, 4u}) {
-    WriteScalingResult r;
-    if (RunWriteScalingPoint(n, slots, &r) != 0) return 1;
-    if (!sweep.empty()) {
-      r.log_identical = r.log_content == sweep.front().log_content;
-      all_identical = all_identical && r.log_identical;
+    double turnstile_cps = 0;
+    for (bool scheduler_on : {false, true}) {
+      if (n == 1 && !scheduler_on) continue;  // no pipeline to A/B
+      WriteScalingResult r;
+      if (RunWriteScalingPoint(n, scheduler_on, slots, cross_bp, &r) != 0) {
+        return 1;
+      }
+      if (!sweep.empty()) {
+        r.log_identical = r.log_content == sweep.front().log_content;
+        all_identical = all_identical && r.log_identical;
+      }
+      all_audits_ok = all_audits_ok && r.audit_ok;
+      if (baseline_cps == 0) baseline_cps = r.commits_per_sec;
+      if (!scheduler_on) turnstile_cps = r.commits_per_sec;
+      double speedup = r.commits_per_sec / baseline_cps;
+      double gain =
+          turnstile_cps > 0 && scheduler_on && n > 1
+              ? r.commits_per_sec / turnstile_cps
+              : 0;
+      if (n == 4 && scheduler_on) gain_4t = gain;
+      std::printf(
+          "%13u %10s %10.3f %9llu %12.1f %8llu %12llu %10llu %10llu %8zu "
+          "%6.2fx %5.2fx\n",
+          r.write_threads, r.mode, r.elapsed_seconds,
+          static_cast<unsigned long long>(r.commits), r.commits_per_sec,
+          static_cast<unsigned long long>(r.epochs),
+          static_cast<unsigned long long>(r.worm_flushes),
+          static_cast<unsigned long long>(r.admitted_concurrent),
+          static_cast<unsigned long long>(r.footprint_fallbacks),
+          r.log_bytes, speedup, gain);
+      sweep.push_back(std::move(r));
     }
-    all_audits_ok = all_audits_ok && r.audit_ok;
-    double speedup = sweep.empty()
-                         ? 1.0
-                         : r.commits_per_sec / sweep.front().commits_per_sec;
-    std::printf("%13u %10.3f %9llu %12.1f %8llu %12.1f %12llu %10llu %8zu "
-                "%8.2fx\n",
-                r.write_threads, r.elapsed_seconds,
-                static_cast<unsigned long long>(r.commits), r.commits_per_sec,
-                static_cast<unsigned long long>(r.epochs), r.sequence_p95_us,
-                static_cast<unsigned long long>(r.worm_flushes),
-                static_cast<unsigned long long>(r.latch_waits), r.log_bytes,
-                speedup);
-    sweep.push_back(std::move(r));
   }
 
   double speedup_4v1 =
       sweep.back().commits_per_sec / sweep.front().commits_per_sec;
-  std::printf("commit throughput at 4 writers: %.2fx of 1 writer\n",
-              speedup_4v1);
-  std::printf("compliance log byte-identical across thread counts: %s\n",
+  std::printf("commit throughput at 4 writers (disjoint): %.2fx of 1 "
+              "writer; %.2fx of 4-writer turnstile\n",
+              speedup_4v1, gain_4t);
+  std::printf("compliance log byte-identical across all runs: %s\n",
               all_identical ? "yes" : "NO — DIVERGED");
 
   std::string json = "{\"bench\":\"write_scaling\",\"slots\":" +
                      std::to_string(slots) +
-                     ",\"warehouses\":2,\"cache_pages\":2048,"
-                     "\"worm_flush_latency_micros\":1000,"
+                     ",\"cross_rate_bp\":" + std::to_string(cross_bp) +
+                     ",\"warehouses\":8,\"cache_pages\":192,"
+                     "\"io_read_latency_micros\":500,"
+                     "\"worm_flush_latency_micros\":500,"
                      "\"group_commit_window_micros\":10000,\"sweep\":[";
   for (size_t i = 0; i < sweep.size(); ++i) {
     const WriteScalingResult& r = sweep[i];
-    char buf[512];
+    char buf[768];
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"write_threads\":%u,\"elapsed_seconds\":%.6f,"
+                  "%s{\"write_threads\":%u,\"mode\":\"%s\","
+                  "\"elapsed_seconds\":%.6f,"
                   "\"commits\":%llu,\"commits_per_sec\":%.1f,"
                   "\"epochs\":%llu,\"sequence_p95_us\":%.1f,"
                   "\"epoch_flush_p95_us\":%.1f,\"latch_acquires\":%llu,"
                   "\"latch_waits\":%llu,\"worm_flushes\":%llu,"
-                  "\"rollbacks\":%llu,\"log_bytes\":%zu,"
+                  "\"rollbacks\":%llu,\"admitted_concurrent\":%llu,"
+                  "\"serialized\":%llu,\"footprint_fallbacks\":%llu,"
+                  "\"conflict_waits\":%llu,\"log_bytes\":%zu,"
                   "\"log_identical\":%s,\"audit_ok\":%s}",
-                  i == 0 ? "" : ",", r.write_threads, r.elapsed_seconds,
+                  i == 0 ? "" : ",", r.write_threads, r.mode,
+                  r.elapsed_seconds,
                   static_cast<unsigned long long>(r.commits),
                   r.commits_per_sec,
                   static_cast<unsigned long long>(r.epochs),
@@ -622,12 +676,17 @@ int RunWriteScalingSweep(uint64_t slots) {
                   static_cast<unsigned long long>(r.latch_acquires),
                   static_cast<unsigned long long>(r.latch_waits),
                   static_cast<unsigned long long>(r.worm_flushes),
-                  static_cast<unsigned long long>(r.rollbacks), r.log_bytes,
-                  r.log_identical ? "true" : "false",
+                  static_cast<unsigned long long>(r.rollbacks),
+                  static_cast<unsigned long long>(r.admitted_concurrent),
+                  static_cast<unsigned long long>(r.serialized),
+                  static_cast<unsigned long long>(r.footprint_fallbacks),
+                  static_cast<unsigned long long>(r.conflict_waits),
+                  r.log_bytes, r.log_identical ? "true" : "false",
                   r.audit_ok ? "true" : "false");
     json += buf;
   }
   json += "],\"speedup_4v1\":" + std::to_string(speedup_4v1) +
+          ",\"gain_4t_disjoint_vs_turnstile\":" + std::to_string(gain_4t) +
           ",\"log_identical_all\":" + (all_identical ? "true" : "false") +
           ",\"audits_ok\":" + (all_audits_ok ? "true" : "false") + "}\n";
   std::FILE* f = std::fopen("BENCH_write_scaling.json", "w");
@@ -648,7 +707,9 @@ int main(int argc, char** argv) {
     // The env overrides would skew individual sweep points.
     ::unsetenv("COMPLYDB_WRITE_THREADS");
     ::unsetenv("COMPLYDB_COMPLIANCE_ASYNC");
-    return RunWriteScalingSweep(ArgOr(argc, argv, 2, 1500));
+    ::unsetenv("COMPLYDB_SLOT_SCHEDULER");
+    int64_t cross_bp = StripInt64Flag(&argc, argv, "--cross-rate", -1);
+    return RunWriteScalingSweep(ArgOr(argc, argv, 2, 1500), cross_bp);
   }
   if (argc > 1 && std::strcmp(argv[1], "--commit-path") == 0) {
     std::string trace_path = StripTraceJsonFlag(&argc, argv, "commit_path");

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -58,15 +59,16 @@ struct TpccEnv {
   std::unique_ptr<CompliantDB> db;
   std::unique_ptr<tpcc::Workload> workload;
 
-  static Result<TpccEnv> Create(const std::string& dir, Mode mode,
-                                size_t cache_pages, const tpcc::Scale& scale,
-                                uint64_t seed, bool tsb = false,
-                                double tsb_threshold = 0.5,
-                                uint64_t io_latency_micros = 0,
-                                bool async_shipping = false,
-                                uint64_t worm_flush_latency_micros = 0,
-                                uint64_t group_commit_window_micros = 0,
-                                uint32_t write_threads = 1) {
+  /// `tweak`, when set, runs over the assembled DbOptions right before
+  /// Open — the escape hatch for knobs too bench-specific to deserve a
+  /// positional parameter (read-side latency, scheduler on/off, ...).
+  static Result<TpccEnv> Create(
+      const std::string& dir, Mode mode, size_t cache_pages,
+      const tpcc::Scale& scale, uint64_t seed, bool tsb = false,
+      double tsb_threshold = 0.5, uint64_t io_latency_micros = 0,
+      bool async_shipping = false, uint64_t worm_flush_latency_micros = 0,
+      uint64_t group_commit_window_micros = 0, uint32_t write_threads = 1,
+      const std::function<void(DbOptions*)>& tweak = nullptr) {
     std::filesystem::remove_all(dir);
     TpccEnv env;
     env.clock = std::make_unique<SimulatedClock>();
@@ -88,6 +90,7 @@ struct TpccEnv {
     options.tsb_enabled = tsb;
     options.tsb_split_threshold = tsb_threshold;
     options.write_threads = write_threads;
+    if (tweak) tweak(&options);
 
     auto open = CompliantDB::Open(options);
     if (!open.ok()) return open.status();
@@ -156,6 +159,27 @@ inline std::string StripMetricsJsonFlag(int* argc, char** argv,
   }
   *argc = out;
   return path;
+}
+
+/// Strips `--<flag>=<n>` (or `--<flag> <n>`) out of argv before
+/// positional parsing and returns its integer value, or `fallback` when
+/// the flag is absent.
+inline int64_t StripInt64Flag(int* argc, char** argv,
+                              const std::string& flag, int64_t fallback) {
+  int64_t value = fallback;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == flag && i + 1 < *argc) {
+      value = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg.rfind(flag + "=", 0) == 0) {
+      value = std::strtoll(arg.c_str() + flag.size() + 1, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return value;
 }
 
 /// Strips `--trace-json[=path]` (or `--trace-json <path>`) out of argv

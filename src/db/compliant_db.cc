@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <thread>
 
 #include "btree/integrity.h"
+#include "txn/slot_buffer.h"
 #include "db/snapshot_reader.h"
 #include "common/coding.h"
 #include "obs/metrics.h"
@@ -103,6 +105,9 @@ Status CompliantDB::Init() {
   if (!disk.ok()) return disk.status();
   disk_.reset(disk.value());
   disk_->set_latency_micros(options_.io_latency_micros);
+  if (options_.io_read_latency_micros != 0) {
+    disk_->set_read_latency_micros(options_.io_read_latency_micros);
+  }
 
   auto wal = LogManager::Open(wal_path());
   if (!wal.ok()) return wal.status();
@@ -227,6 +232,16 @@ Status CompliantDB::Init() {
       wal_->set_tail_deferred(true);
     }
     pipeline_ = std::make_unique<CommitPipeline>(std::move(barrier));
+    // Disjoint-slot scheduling (DESIGN.md, "Disjoint-slot scheduling").
+    // Forced off under hash_on_read: execute-phase reads would append
+    // READ_HASH records at thread-dependent times, breaking L identity.
+    bool scheduler_on = options_.slot_scheduler;
+    if (const char* env = std::getenv("COMPLYDB_SLOT_SCHEDULER")) {
+      scheduler_on = env[0] != '0' && env[0] != '\0';
+    }
+    if (scheduler_on && !options_.compliance.hash_on_read) {
+      pipeline_->EnableScheduler();
+    }
     txns_->SetPipeline(pipeline_.get());
   }
 
@@ -573,13 +588,16 @@ Result<uint32_t> CompliantDB::AttachIndex(uint32_t table,
 Status CompliantDB::ScanIndex(
     uint32_t index_id, Slice secondary,
     const std::function<Status(Slice primary_key)>& fn) {
-  Btree* t = tree(index_id);
-  if (t == nullptr) return Status::InvalidArgument("unknown index");
+  if (tree(index_id) == nullptr) {
+    return Status::InvalidArgument("unknown index");
+  }
   std::string begin(secondary.data(), secondary.size());
   begin.push_back('\0');
   std::string end(secondary.data(), secondary.size());
   end.push_back('\x01');
-  return t->ScanRangeCurrent(begin, end, [&](const TupleData& entry) {
+  // Through ScanCurrent so execute-phase index writes staged in the slot
+  // buffer are merged into the scan.
+  return ScanCurrent(index_id, begin, end, [&](const TupleData& entry) {
     Slice primary(entry.key.data() + secondary.size() + 1,
                   entry.key.size() - secondary.size() - 1);
     return fn(primary);
@@ -593,20 +611,116 @@ uint64_t CompliantDB::ReserveWriteSlot() {
   return serial_slot_seq_++;
 }
 
+uint64_t CompliantDB::ReserveWriteSlot(const SlotFootprint& footprint) {
+  if (pipeline_ == nullptr) return serial_slot_seq_++;
+  if (pipeline_->scheduler() == nullptr) return pipeline_->ReserveTicket();
+  if (footprint.partitions.empty()) {
+    return pipeline_->ReserveTicket(SlotScheduler::Admission::kExclusive, 0);
+  }
+  if (footprint.partitions.size() > 1) {
+    // Cross-partition slots keep exclusive admission: the conflict table
+    // tracks one partition per ticket, and multi-partition footprints are
+    // rare enough (remote TPC-C transactions) that serializing them is
+    // cheaper than a full interval check.
+    return pipeline_->ReserveTicket(SlotScheduler::Admission::kFallback, 0);
+  }
+  return pipeline_->ReserveTicket(SlotScheduler::Admission::kConcurrent,
+                                  footprint.partitions[0]);
+}
+
 Status CompliantDB::RunWriteSlot(uint64_t ticket,
                                  const std::function<Status()>& body) {
+  return RunWriteSlot(ticket, body, std::function<void()>());
+}
+
+Status CompliantDB::RunWriteSlot(uint64_t ticket,
+                                 const std::function<Status()>& body,
+                                 const std::function<void()>& epilogue) {
   if (pipeline_ == nullptr) {
     (void)ticket;  // serial engine: the body already runs in slot order
-    return body();
+    Status s = body();
+    if (epilogue) epilogue();
+    return s;
+  }
+  SlotScheduler* sched = pipeline_->scheduler();
+  if (sched != nullptr && sched->IsConcurrent(ticket)) {
+    // Execute phase: once every earlier undone slot is footprint-disjoint,
+    // run the body against a staging buffer — reads see committed state
+    // plus the slot's own writes, and nothing touches the engine yet.
+    SlotWriteBuffer buf;
+    pipeline_->BeginExecute(ticket, &buf);
+    Status body_status = body();
+    pipeline_->EndExecute();
+    // Apply phase: the turnstile serializes the replay in ticket order,
+    // so every L append lands exactly where a serial run would put it.
+    pipeline_->OpenSlot(ticket, /*implicit=*/false);
+    Status apply = ApplySlotBuffer(&buf);
+    if (epilogue) epilogue();
+    Status epoch = pipeline_->CloseSlot();
+    if (!body_status.ok()) return body_status;
+    if (!apply.ok()) return apply;
+    return epoch;
   }
   pipeline_->OpenSlot(ticket, /*implicit=*/false);
   Status s = body();
+  if (epilogue) epilogue();
   Status epoch = pipeline_->CloseSlot();
   return s.ok() ? epoch : s;
 }
 
+Status CompliantDB::ApplySlotBuffer(SlotWriteBuffer* buf) {
+  // Replays the execute phase's op log through the real engine inside the
+  // open slot. Begin/Commit/Abort take the full facade path (stamping,
+  // regret ticks, commit spans); Put/Delete go straight to the engine —
+  // index maintenance already ran at execute time and recorded its index
+  // writes as explicit ops.
+  Transaction* txn = nullptr;
+  Status s;
+  for (const auto& op : buf->ops()) {
+    switch (op.kind) {
+      case SlotWriteBuffer::OpKind::kBegin: {
+        auto begun = Begin();
+        if (begun.ok()) {
+          txn = begun.value();
+        } else {
+          s = begun.status();
+        }
+        break;
+      }
+      case SlotWriteBuffer::OpKind::kPut:
+        s = txns_->Put(txn, op.tree_id, op.key, op.value);
+        break;
+      case SlotWriteBuffer::OpKind::kDelete:
+        s = txns_->Delete(txn, op.tree_id, op.key);
+        break;
+      case SlotWriteBuffer::OpKind::kCommit:
+        s = Commit(txn);
+        txn = nullptr;
+        break;
+      case SlotWriteBuffer::OpKind::kAbort:
+        s = Abort(txn);
+        txn = nullptr;
+        break;
+    }
+    if (!s.ok()) break;
+  }
+  if (txn != nullptr) {
+    // A body that failed mid-transaction left it open in the buffer; the
+    // engine must not stay wedged with an active transaction.
+    Status abort = Abort(txn);
+    if (s.ok()) s = abort;
+  }
+  return s;
+}
+
 Result<Transaction*> CompliantDB::Begin() {
   if (options_.read_only) return Status::NotSupported("read-only open");
+  // Scheduler execute phase: the transaction is staged in the slot's
+  // write buffer (TransactionManager routes there); no turnstile, no
+  // implicit slot — the replay at apply time opens the real one.
+  if (pipeline_ != nullptr && pipeline_->ExecBuffer() != nullptr) {
+    return txns_->Begin();
+  }
   // Pipeline mode: a bare Begin outside any explicit slot opens its own
   // implicit one — the turnstile wait happens here, and Commit/Abort
   // close the slot (so a standalone transaction keeps durable-on-return
@@ -680,6 +794,11 @@ Status CompliantDB::Get(uint32_t table, Slice key, std::string* value) {
 }
 
 Status CompliantDB::Commit(Transaction* txn) {
+  // A deferred (execute-phase) transaction commits into its slot buffer;
+  // the metrics and spans below fire at replay, when the commit is real.
+  if (txn != nullptr && txn->slot_buffer() != nullptr) {
+    return txn->slot_buffer()->Commit(txn);
+  }
   // End-to-end commit latency as the client sees it: WAL flush, the
   // compliance barrier, background stamping, and any regret tick that
   // fires on this call — the tail the async shipper exists to shorten.
@@ -699,6 +818,11 @@ Status CompliantDB::Commit(Transaction* txn) {
     // the bursts used to be the commit tail right below the regret ticks.
     if (txns_->pending_stamp_count() >= 4) s = txns_->StampPending(2);
     if (s.ok()) s = MaybeRegretTick();
+    // Commit boundaries are the drain points for the dirty-threshold
+    // checkpoint: they occur at the same logical position in every
+    // execution schedule (serial or pipelined-apply), so the flush batch
+    // lands at an identical offset in L regardless of thread count.
+    if (s.ok()) s = cache_->CheckpointIfNeeded();
   }
   // An implicit slot closes with its commit: maintenance above stayed
   // inside the turnstile; only the epoch durability wait remains. Runs on
@@ -711,8 +835,12 @@ Status CompliantDB::Commit(Transaction* txn) {
 }
 
 Status CompliantDB::Abort(Transaction* txn) {
+  if (txn != nullptr && txn->slot_buffer() != nullptr) {
+    return txn->slot_buffer()->Abort(txn);
+  }
   Status s = txns_->Abort(txn);
   if (s.ok()) s = MaybeRegretTick();
+  if (s.ok()) s = cache_->CheckpointIfNeeded();
   if (pipeline_ != nullptr && pipeline_->InImplicitSlot()) {
     Status epoch = pipeline_->CloseSlot();
     if (s.ok()) s = epoch;
@@ -780,7 +908,58 @@ Status CompliantDB::ScanCurrent(
     const std::function<Status(const TupleData&)>& fn) {
   Btree* t = tree(table);
   if (t == nullptr) return Status::InvalidArgument("unknown table");
-  return t->ScanRangeCurrent(begin, end, fn);
+  SlotWriteBuffer* buf =
+      pipeline_ != nullptr ? pipeline_->ExecBuffer() : nullptr;
+  if (buf == nullptr) return t->ScanRangeCurrent(begin, end, fn);
+  // Scheduler execute phase: merge the slot's staged writes into the
+  // committed scan in key order, so a body sees its own (buffered)
+  // effects exactly as it would inside a real slot. A Busy callback
+  // stops the merged scan the same way it stops the raw one.
+  std::map<std::string, std::optional<std::string>> overlay;
+  buf->CollectRange(table, begin, end, &overlay);
+  if (overlay.empty()) return t->ScanRangeCurrent(begin, end, fn);
+  auto it = overlay.begin();
+  bool stopped = false;
+  auto emit = [&](const TupleData& entry) -> Status {
+    Status cb = fn(entry);
+    if (cb.IsBusy()) stopped = true;
+    return cb;
+  };
+  Status s = t->ScanRangeCurrent(
+      begin, end, [&](const TupleData& entry) -> Status {
+        // Slot-inserted keys that sort before this committed key.
+        while (it != overlay.end() && it->first < entry.key) {
+          if (it->second.has_value()) {
+            TupleData synth;
+            synth.key = it->first;
+            synth.value = *it->second;
+            Status cb = emit(synth);
+            if (!cb.ok()) return cb;  // Busy stops the tree scan too
+          }
+          ++it;
+        }
+        if (it != overlay.end() && it->first == entry.key) {
+          const std::optional<std::string> over = it->second;
+          ++it;
+          if (!over.has_value()) return Status::OK();  // deleted in slot
+          TupleData shadowed = entry;
+          shadowed.value = *over;
+          return emit(shadowed);
+        }
+        return emit(entry);
+      });
+  if (!s.ok() || stopped) return s;
+  // Slot-inserted keys past the last committed key in range.
+  for (; it != overlay.end(); ++it) {
+    if (!it->second.has_value()) continue;
+    TupleData synth;
+    synth.key = it->first;
+    synth.value = *it->second;
+    Status cb = fn(synth);
+    if (cb.IsBusy()) return Status::OK();
+    if (!cb.ok()) return cb;
+  }
+  return Status::OK();
 }
 
 // --- snapshot reads --------------------------------------------------

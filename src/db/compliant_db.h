@@ -69,6 +69,12 @@ struct DbOptions {
   /// benchmark harness uses this to model the paper's NFS filer.
   uint64_t io_latency_micros = 0;
 
+  /// Simulated latency for page *reads* only, overriding io_latency_micros
+  /// on the read side when non-zero. The write-scaling benchmark uses an
+  /// asymmetric profile (priced reads, free writes) to isolate how much
+  /// execute-phase read latency the disjoint-slot scheduler overlaps.
+  uint64_t io_read_latency_micros = 0;
+
   /// Simulated WORM-server latency per durable flush (0 = none). The
   /// paper's compliance store is a network-attached filer too; each
   /// fflush of L models one round trip to it. The commit-path benchmark
@@ -117,6 +123,17 @@ struct DbOptions {
   /// when compliance is enabled. The COMPLYDB_WRITE_THREADS environment
   /// variable, when set to a positive integer, overrides this.
   uint32_t write_threads = 1;
+
+  /// Disjoint-slot scheduling (DESIGN.md, "Disjoint-slot scheduling").
+  /// When true and write_threads > 1, slots that declare a
+  /// single-partition footprint at ReserveWriteSlot execute concurrently
+  /// against per-slot staging buffers and are replayed through the engine
+  /// in ticket order; undeclared or multi-partition slots keep exclusive
+  /// turnstile admission. Forced off when compliance.hash_on_read is set
+  /// (execute-phase reads must not append READ_HASH records at
+  /// thread-dependent times). The COMPLYDB_SLOT_SCHEDULER environment
+  /// variable ("0"/"1"), when set, overrides this.
+  bool slot_scheduler = true;
 };
 
 /// The compliant DBMS facade: a transaction-time key-value store over
@@ -171,14 +188,33 @@ class CompliantDB {
   /// reservation order; reserve under the same lock that decides the
   /// slot's content and the schedule is deterministic. With no pipeline
   /// this is a plain counter (RunWriteSlot runs the body inline).
+  /// Undeclared footprint: exclusive turnstile admission.
   uint64_t ReserveWriteSlot();
+
+  /// Reserves a ticket with a declared footprint. With the disjoint-slot
+  /// scheduler enabled, a single-partition footprint makes the slot
+  /// eligible for concurrent execution; multi-partition declarations fall
+  /// back to exclusive admission (txn.scheduler.footprint_fallbacks).
+  uint64_t ReserveWriteSlot(const SlotFootprint& footprint);
 
   /// Runs `body` inside commit slot `ticket`: blocks until the turnstile
   /// admits the ticket, runs the body (any number of Begin/Commit cycles
   /// plus reads), then releases the turnstile and waits for the epoch
   /// durability barrier covering the slot's commits. Returns the body's
   /// status, or the barrier's if the body succeeded.
+  ///
+  /// For a scheduler-admitted concurrent slot the body instead runs
+  /// immediately against a per-slot staging buffer (reads see committed
+  /// state plus the slot's own writes), and the buffered ops are replayed
+  /// through the engine once the turnstile admits the ticket — observable
+  /// effects are identical, but disjoint bodies overlap.
+  ///
+  /// `epilogue`, when provided, runs inside the slot after the body (or
+  /// after the replay), i.e. serially in ticket order — drivers use it to
+  /// advance the simulated clock deterministically.
   Status RunWriteSlot(uint64_t ticket, const std::function<Status()>& body);
+  Status RunWriteSlot(uint64_t ticket, const std::function<Status()>& body,
+                      const std::function<void()>& epilogue);
 
   // --- transactions ---
   Result<Transaction*> Begin();
@@ -346,6 +382,12 @@ class CompliantDB {
     if (!options_.compliance.enabled) return "off";
     return options_.compliance.async_shipping ? "async" : "sync";
   }
+  /// "disjoint" (scheduler active), "turnstile" (pipeline without the
+  /// scheduler), or "serial" (no pipeline).
+  const char* scheduler_mode() const {
+    if (pipeline_ == nullptr) return "serial";
+    return pipeline_->scheduler() != nullptr ? "disjoint" : "turnstile";
+  }
   HistoricalStore* historical() { return hist_.get(); }
   Btree* tree(uint32_t table) { return txns_->GetTree(table); }
   std::string db_path() const { return options_.dir + "/data.db"; }
@@ -360,6 +402,9 @@ class CompliantDB {
   Status LoadCatalog();
   Status SaveCatalog();
   Status MaybeRegretTick();
+  /// Replays a concurrent slot's staged ops through the engine (caller
+  /// holds the open slot; runs serially in ticket order).
+  Status ApplySlotBuffer(SlotWriteBuffer* buf);
   Status RotateTxTail();
   RetentionResolver MakeRetentionResolver();
   /// Lazily attaches the certification cursor to the current epoch

@@ -52,6 +52,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kTsbMigrate: return "tsb.migrate";
     case SpanKind::kEpochSeal: return "audit.epoch.seal";
     case SpanKind::kAuditIncremental: return "audit.incremental";
+    case SpanKind::kSchedulerAdmit: return "txn.scheduler.admit";
     case SpanKind::kSpanKindCount: break;
   }
   return "?";

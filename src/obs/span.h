@@ -61,6 +61,7 @@ enum class SpanKind : uint8_t {
   kTsbMigrate,        // causal = tree id, arg = live page id
   kEpochSeal,         // causal = sealed-epoch seq, arg = L bytes sealed
   kAuditIncremental,  // causal = audit epoch, arg = epochs certified
+  kSchedulerAdmit,    // causal = pipeline ticket, arg = partition key
   kSpanKindCount,
 };
 

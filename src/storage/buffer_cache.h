@@ -24,10 +24,22 @@ namespace complydb {
 enum class PageLatchMode { kNone, kShared, kExclusive };
 
 /// Fixed-capacity LRU buffer cache with a *steal / no-force* policy:
-/// dirty pages of uncommitted transactions may be evicted (steal — this is
+/// dirty pages of uncommitted transactions may reach disk (steal — this is
 /// what creates the UNDO cases of paper §IV-B), and commit does not flush
 /// (no-force — a crash may lose the pwrite of a committed tuple, which is
 /// why the transaction-log tail lives on WORM).
+///
+/// Dirty write-out happens only at *deterministic flush points*: the
+/// regret-cycle FlushMarkedAndRemark, the dirty-threshold checkpoint
+/// (CheckpointIfNeeded, driven by per-shard dirty counts that only writes
+/// move), and — last resort — a whole-shard flush when a write fault finds
+/// no clean frame. Eviction itself only ever recycles clean frames, and a
+/// shared-latch (read) fault that finds none bypasses the cache through a
+/// transient overflow frame. This is what makes the compliance log L a
+/// pure function of the applied write sequence: concurrent slot-execute
+/// reads may shuffle the LRU and warm or cool any page, but they can never
+/// move a compliance-visible page image to WORM at a thread-dependent
+/// time.
 ///
 /// Every disk crossing runs the registered IoHooks; the compliance logger
 /// observes the database exclusively through this seam.
@@ -87,6 +99,14 @@ class BufferCache {
   /// the currently dirty pages for the next one.
   Status FlushMarkedAndRemark();
 
+  /// Dirty-threshold checkpoint: when any shard's dirty count has crossed
+  /// half its frame budget, flush every dirty page (page order). Callers
+  /// invoke this at commit/abort boundaries — points that occur at the
+  /// same logical position in every execution schedule — so the flush
+  /// batches land at identical L offsets regardless of thread count.
+  /// Cheap when no threshold was crossed (one relaxed load).
+  Status CheckpointIfNeeded();
+
   /// Drops all unpinned frames (dirty frames are flushed first). Used to
   /// simulate a cold cache / restart so reads hit the disk image again.
   Status DropAll();
@@ -121,12 +141,28 @@ class BufferCache {
     bool in_lru = false;
   };
 
+  /// A transient frame for a read fault that found no clean victim: the
+  /// page is served from a heap copy that is dropped at unpin, so the
+  /// resident set — and with it the dirty write-out schedule — stays
+  /// untouched by read pressure. No content latch: overflow frames only
+  /// ever serve kShared fetches and a write fault waits out the copy
+  /// rather than touching it, so the copy is immutable for its whole
+  /// lifetime (the shard mutex publishes the filled page to later pins).
+  struct OverflowFrame {
+    Page page;
+    int pins = 0;
+  };
+
   struct Shard {
     std::mutex mu;
     std::unordered_map<PageId, size_t> table;
+    std::unordered_map<PageId, std::unique_ptr<OverflowFrame>> overflow;
     std::vector<size_t> free_list;
     size_t lru_head = kNil;
     size_t lru_tail = kNil;
+    size_t frame_count = 0;   // static budget of this shard
+    size_t dirty = 0;         // resident dirty frames; guarded by mu
+    size_t checkpoint_at = 0; // dirty >= this requests a checkpoint
     obs::Counter* reg_hits = nullptr;
     obs::Counter* reg_misses = nullptr;
     obs::Counter* reg_evictions = nullptr;
@@ -144,8 +180,13 @@ class BufferCache {
 
   Status WriteOut(Frame* frame);
   Status WriteOutBatch(const std::vector<size_t>& batch);
-  /// Requires the shard's mutex.
-  Result<size_t> FindVictim(Shard* shard);
+  void SetDirty(Shard* shard, Frame* frame);
+  void SetClean(Frame* frame);
+  /// Requires the shard's mutex. Returns a recycled clean frame index, or
+  /// kNil when the shard holds no clean unpinned frame and `allow_flush`
+  /// is false (the caller bypasses). With `allow_flush`, a clean-frame
+  /// drought triggers a whole-shard dirty flush (page order) first.
+  Result<size_t> FindVictim(Shard* shard, bool allow_flush);
   /// Collect + batch-write every dirty resident frame; requires all shard
   /// mutexes (DropAll composes it with the reset under one lock scope).
   Status FlushAllLocked();
@@ -172,7 +213,15 @@ class BufferCache {
   obs::Counter* reg_evictions_;
   obs::Counter* reg_page_forces_;
   obs::Counter* reg_latch_waits_;
+  obs::Counter* reg_checkpoints_;
+  obs::Counter* reg_shard_flushes_;
+  obs::Counter* reg_read_bypasses_;
   obs::Histogram* reg_latch_wait_us_;
+  /// Set under a shard mutex when that shard's dirty count crosses its
+  /// checkpoint threshold; consumed by CheckpointIfNeeded. Dirty counts
+  /// move only on the (serial) write path, so the flag's history is a
+  /// pure function of the applied write sequence.
+  std::atomic<bool> checkpoint_pending_{false};
 };
 
 /// RAII pin guard. Carries the latch mode taken at fetch so Release pairs

@@ -78,15 +78,15 @@ DiskManager::~DiskManager() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void DiskManager::SimulateLatency() const {
-  if (latency_micros_ == 0) return;
-  std::this_thread::sleep_for(std::chrono::microseconds(latency_micros_));
+void DiskManager::SimulateLatency(uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
 Status DiskManager::ReadPage(PageId pgno, Page* page) {
   if (pgno >= PageCount()) return Status::InvalidArgument("pgno out of range");
   obs::ScopedLatencyTimer timer(reg_read_us_);
-  SimulateLatency();
+  SimulateLatency(read_latency_micros_);
   if (!PReadFull(fd_, page->data(), kPageSize,
                  static_cast<off_t>(pgno) * kPageSize)) {
     return Status::IOError("short page read");
@@ -99,7 +99,7 @@ Status DiskManager::ReadPage(PageId pgno, Page* page) {
 Status DiskManager::WritePage(PageId pgno, const Page& page) {
   if (pgno >= PageCount()) return Status::InvalidArgument("pgno out of range");
   obs::ScopedLatencyTimer timer(reg_write_us_);
-  SimulateLatency();
+  SimulateLatency(write_latency_micros_);
   if (!PWriteFull(fd_, page.data(), kPageSize,
                   static_cast<off_t>(pgno) * kPageSize)) {
     return Status::IOError("short page write");

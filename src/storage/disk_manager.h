@@ -57,13 +57,26 @@ class DiskManager {
   /// NFS-mounted filer where every page crossing cost a network round
   /// trip; benchmarks set this so relative overheads are measured against
   /// a realistically priced baseline rather than a page-cached local file.
-  void set_latency_micros(uint64_t micros) { latency_micros_ = micros; }
-  uint64_t latency_micros() const { return latency_micros_; }
+  /// Sets both directions; the per-direction setters below let benchmarks
+  /// model an asymmetric device (e.g. priced reads, free writes).
+  void set_latency_micros(uint64_t micros) {
+    read_latency_micros_ = micros;
+    write_latency_micros_ = micros;
+  }
+  uint64_t latency_micros() const { return read_latency_micros_; }
+  void set_read_latency_micros(uint64_t micros) {
+    read_latency_micros_ = micros;
+  }
+  void set_write_latency_micros(uint64_t micros) {
+    write_latency_micros_ = micros;
+  }
+  uint64_t read_latency_micros() const { return read_latency_micros_; }
+  uint64_t write_latency_micros() const { return write_latency_micros_; }
 
  private:
   DiskManager(std::string path, int fd, PageId page_count);
 
-  void SimulateLatency() const;
+  static void SimulateLatency(uint64_t micros);
 
   std::string path_;
   int fd_;
@@ -76,7 +89,8 @@ class DiskManager {
   obs::Counter* reg_writes_;
   obs::Histogram* reg_read_us_;
   obs::Histogram* reg_write_us_;
-  uint64_t latency_micros_ = 0;
+  uint64_t read_latency_micros_ = 0;
+  uint64_t write_latency_micros_ = 0;
 };
 
 }  // namespace complydb

@@ -1,6 +1,7 @@
 #include "tpcc/workload.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -98,66 +99,84 @@ Status Workload::RunMixConcurrent(uint64_t num_txns, uint32_t threads,
 
   // Slot numbers and pipeline tickets are drawn under one lock, so slot i
   // always holds ticket base+i: admission order == slot order, and the
-  // whole schedule is the serial 0..num_txns-1 sequence.
+  // whole schedule is the serial 0..num_txns-1 sequence. The
+  // footprint-determining prefix of each slot's rng stream is drawn under
+  // the same lock (it classifies the slot for admission), so
+  // classification is atomic with reservation.
   std::mutex issue_mu;
   uint64_t next_slot = 0;
   std::mutex result_mu;
   Status first_error;
   std::atomic<bool> failed{false};
+  const uint64_t base_now = db_->Now();
 
   auto worker = [&]() {
     MixStats local;
     while (true) {
       uint64_t slot = 0;
       uint64_t ticket = 0;
+      SlotParams params;
+      std::unique_ptr<TpccRandom> rng;
       {
         std::lock_guard<std::mutex> lock(issue_mu);
         if (next_slot >= num_txns || failed.load(std::memory_order_relaxed)) {
           break;
         }
         slot = next_slot++;
-        ticket = db_->ReserveWriteSlot();
+        rng = std::make_unique<TpccRandom>(SlotSeed(seed_, slot));
+        SlotFootprint footprint;
+        DrawSlotParams(MixTypeForSlot(seed_, slot), rng.get(), &params,
+                       &footprint);
+        // Slot k's commit-time reads resolve to the base plus every
+        // earlier slot's advance — exactly what a serial body's
+        // db_->Now() would read at its turn. Precomputing it lets
+        // concurrent execute phases run without touching the clock.
+        params.now = base_now + slot * advance_micros;
+        ticket = db_->ReserveWriteSlot(footprint);
       }
-      const int type = MixTypeForSlot(seed_, slot);
-      TpccRandom rng(SlotSeed(seed_, slot));
-      Status s = db_->RunWriteSlot(ticket, [&]() -> Status {
-        Status ts;
-        switch (type) {
-          case 0: {
-            bool committed = false;
-            ts = NewOrder(&committed, &rng);
-            if (ts.ok()) {
-              ++local.new_order;
-              if (!committed) ++local.rollbacks;
+      Status s = db_->RunWriteSlot(
+          ticket,
+          [&]() -> Status {
+            Status ts;
+            switch (params.type) {
+              case 0: {
+                bool committed = false;
+                ts = NewOrder(&committed, rng.get(), params);
+                if (ts.ok()) {
+                  ++local.new_order;
+                  if (!committed) ++local.rollbacks;
+                }
+                break;
+              }
+              case 1:
+                ts = Payment(rng.get(), params);
+                if (ts.ok()) ++local.payment;
+                break;
+              case 2:
+                ts = OrderStatus(rng.get(), params);
+                if (ts.ok()) ++local.order_status;
+                break;
+              case 3:
+                ts = Delivery(rng.get(), params);
+                if (ts.ok()) ++local.delivery;
+                break;
+              case 4:
+                ts = StockLevel(rng.get(), params);
+                if (ts.ok()) ++local.stock_level;
+                break;
             }
-            break;
-          }
-          case 1:
-            ts = Payment(&rng);
-            if (ts.ok()) ++local.payment;
-            break;
-          case 2:
-            ts = OrderStatus(&rng);
-            if (ts.ok()) ++local.order_status;
-            break;
-          case 3:
-            ts = Delivery(&rng);
-            if (ts.ok()) ++local.delivery;
-            break;
-          case 4:
-            ts = StockLevel(&rng);
-            if (ts.ok()) ++local.stock_level;
-            break;
-        }
-        // The clock advance must stay inside the turnstile: commit times
-        // are max(last_tick+1, now), so an advance concurrent with
-        // another slot's commit would make timestamps depend on thread
-        // timing.
-        if (ts.ok() && clock != nullptr && advance_micros > 0) {
-          clock->AdvanceMicros(advance_micros);
-        }
-        return ts;
-      });
+            return ts;
+          },
+          [&]() {
+            // The clock advance must stay inside the turnstile: commit
+            // times are max(last_tick+1, now), so an advance concurrent
+            // with another slot's commit would make timestamps depend on
+            // thread timing. With the scheduler this epilogue runs in
+            // the apply phase, serial in ticket order.
+            if (clock != nullptr && advance_micros > 0) {
+              clock->AdvanceMicros(advance_micros);
+            }
+          });
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(result_mu);
         if (first_error.ok()) first_error = s;

@@ -34,6 +34,11 @@ class TpccRandom {
   /// Percentage check: true with probability pct/100.
   bool Percent(uint32_t pct) { return rng_.Uniform(100) < pct; }
 
+  /// Basis-point check: true with probability bp/10000. The benchmark's
+  /// --cross-rate knob needs sub-percent resolution (the spec's remote
+  /// NewOrder supply rate is 1%).
+  bool PercentBp(uint32_t bp) { return rng_.Uniform(10000) < bp; }
+
   Random* raw() { return &rng_; }
 
  private:

@@ -40,20 +40,87 @@ Status Workload::SelectCustomer(TpccRandom* rng, uint32_t w, uint32_t d,
   return Status::OK();
 }
 
-Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
-  *committed = false;
-  uint32_t w = RandomWarehouse(rng);
-  uint32_t d = RandomDistrict(rng);
-  uint32_t c = rng->CustomerId(scale_.customers_per_district);
-  uint32_t ol_cnt = static_cast<uint32_t>(rng->Uniform(5, 15));
-  bool rollback = rng->Percent(1);  // clause 2.4.1.4
-
-  // Pick items up front, coalescing duplicates (one STOCK write per key).
-  std::map<uint32_t, uint32_t> item_qty;  // i_id -> quantity
-  for (uint32_t i = 0; i < ol_cnt; ++i) {
-    uint32_t i_id = rng->ItemId(scale_.items);
-    item_qty[i_id] += static_cast<uint32_t>(rng->Uniform(1, 10));
+void Workload::DrawSlotParams(int type, TpccRandom* rng, SlotParams* params,
+                              SlotFootprint* footprint) {
+  params->type = type;
+  params->w = RandomWarehouse(rng);
+  std::set<uint64_t> parts;
+  parts.insert(params->w);
+  switch (type) {
+    case 0: {  // NewOrder
+      params->d = RandomDistrict(rng);
+      params->c = rng->CustomerId(scale_.customers_per_district);
+      uint32_t ol_cnt = static_cast<uint32_t>(rng->Uniform(5, 15));
+      params->rollback = rng->Percent(1);  // clause 2.4.1.4
+      // Pick items up front, coalescing duplicates (one STOCK write per
+      // key per transaction).
+      for (uint32_t i = 0; i < ol_cnt; ++i) {
+        uint32_t i_id = rng->ItemId(scale_.items);
+        params->item_qty[i_id] += static_cast<uint32_t>(rng->Uniform(1, 10));
+      }
+      // Remote supply warehouses (spec: 1% per line). The rollback case
+      // aborts at the final item before its supply would be drawn, so no
+      // draw happens for it — matching the body's control flow exactly.
+      const uint32_t remote_bp =
+          cross_bp_ >= 0 ? static_cast<uint32_t>(cross_bp_) : 100;
+      size_t processed = 0;
+      for (const auto& entry : params->item_qty) {
+        ++processed;
+        if (params->rollback && processed == params->item_qty.size()) break;
+        if (scale_.warehouses > 1 && rng->PercentBp(remote_bp)) {
+          uint32_t supply = params->w;
+          do {
+            supply = RandomWarehouse(rng);
+          } while (supply == params->w);
+          params->supplies[entry.first] = supply;
+          parts.insert(supply);
+        }
+      }
+      break;
+    }
+    case 1: {  // Payment: 85% local customer, 15% remote (spec).
+      params->d = RandomDistrict(rng);
+      params->c_w = params->w;
+      params->c_d = params->d;
+      const uint32_t remote_bp =
+          cross_bp_ >= 0 ? static_cast<uint32_t>(cross_bp_) : 1500;
+      if (scale_.warehouses > 1 && rng->PercentBp(remote_bp)) {
+        do {
+          params->c_w = RandomWarehouse(rng);
+        } while (params->c_w == params->w);
+        params->c_d = RandomDistrict(rng);
+        parts.insert(params->c_w);
+      }
+      break;
+    }
+    case 2:  // OrderStatus
+    case 4:  // StockLevel
+      params->d = RandomDistrict(rng);
+      break;
+    case 3:  // Delivery
+      params->carrier = static_cast<uint32_t>(rng->Uniform(1, 10));
+      break;
   }
+  if (footprint != nullptr) {
+    footprint->partitions.assign(parts.begin(), parts.end());
+  }
+}
+
+Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
+  SlotParams p;
+  DrawSlotParams(0, rng, &p, nullptr);
+  p.now = db_->Now();
+  return NewOrder(committed, rng, p);
+}
+
+Status Workload::NewOrder(bool* committed, TpccRandom* rng,
+                          const SlotParams& p) {
+  (void)rng;  // every NewOrder draw is hoisted to DrawSlotParams
+  *committed = false;
+  const uint32_t w = p.w;
+  const uint32_t d = p.d;
+  const uint32_t c = p.c;
+  const std::map<uint32_t, uint32_t>& item_qty = p.item_qty;
 
   auto begin = db_->Begin();
   if (!begin.ok()) return begin.status();
@@ -76,7 +143,7 @@ Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
 
   OrderRow order;
   order.c_id = c;
-  order.entry_d = db_->Now();
+  order.entry_d = p.now;
   order.carrier_id = 0;
   order.ol_cnt = static_cast<uint32_t>(item_qty.size());
   CDB_RETURN_IF_ERROR(
@@ -94,8 +161,8 @@ Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
     ++processed;
     // The rollback case: the final item is unused (invalid id).
     uint32_t lookup =
-        (rollback && processed == item_qty.size()) ? scale_.items + 7777
-                                                   : i_id;
+        (p.rollback && processed == item_qty.size()) ? scale_.items + 7777
+                                                     : i_id;
     Status item_status = db_->Get(tables_.item, ItemKey(lookup), &raw);
     if (item_status.IsNotFound()) {
       CDB_RETURN_IF_ERROR(db_->Abort(txn));
@@ -105,13 +172,10 @@ Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
     ItemRow item;
     CDB_RETURN_IF_ERROR(ItemRow::Decode(raw, &item));
 
-    // 1% remote warehouse (only meaningful with >1 warehouse).
-    uint32_t supply_w = w;
-    if (scale_.warehouses > 1 && rng->Percent(1)) {
-      do {
-        supply_w = RandomWarehouse(rng);
-      } while (supply_w == w);
-    }
+    // Remote supply warehouses were drawn at issue time (they are the
+    // slot's footprint).
+    auto supply_it = p.supplies.find(i_id);
+    uint32_t supply_w = supply_it != p.supplies.end() ? supply_it->second : w;
 
     CDB_RETURN_IF_ERROR(
         db_->Get(tables_.stock, StockKey(supply_w, i_id), &raw));
@@ -145,17 +209,17 @@ Status Workload::NewOrder(bool* committed, TpccRandom* rng) {
 }
 
 Status Workload::Payment(TpccRandom* rng) {
-  uint32_t w = RandomWarehouse(rng);
-  uint32_t d = RandomDistrict(rng);
-  // 85% local customer, 15% remote (with >1 warehouse).
-  uint32_t c_w = w;
-  uint32_t c_d = d;
-  if (scale_.warehouses > 1 && rng->Percent(15)) {
-    do {
-      c_w = RandomWarehouse(rng);
-    } while (c_w == w);
-    c_d = RandomDistrict(rng);
-  }
+  SlotParams p;
+  DrawSlotParams(1, rng, &p, nullptr);
+  p.now = db_->Now();
+  return Payment(rng, p);
+}
+
+Status Workload::Payment(TpccRandom* rng, const SlotParams& p) {
+  const uint32_t w = p.w;
+  const uint32_t d = p.d;
+  const uint32_t c_w = p.c_w;
+  const uint32_t c_d = p.c_d;
   uint32_t c = 0;
   CDB_RETURN_IF_ERROR(SelectCustomer(rng, c_w, c_d, &c));
   int64_t amount = static_cast<int64_t>(rng->Uniform(100, 500000));
@@ -201,7 +265,7 @@ Status Workload::Payment(TpccRandom* rng) {
   history.c_d = c_d;
   history.c_id = c;
   history.amount_cents = amount;
-  history.date = db_->Now();
+  history.date = p.now;
   history.data = warehouse.name + "    " + district.name;
   CDB_RETURN_IF_ERROR(db_->Put(txn, tables_.history,
                                HistoryKey(w, d, c, rng->raw()->Next()),
@@ -211,8 +275,14 @@ Status Workload::Payment(TpccRandom* rng) {
 }
 
 Status Workload::OrderStatus(TpccRandom* rng) {
-  uint32_t w = RandomWarehouse(rng);
-  uint32_t d = RandomDistrict(rng);
+  SlotParams p;
+  DrawSlotParams(2, rng, &p, nullptr);
+  return OrderStatus(rng, p);
+}
+
+Status Workload::OrderStatus(TpccRandom* rng, const SlotParams& p) {
+  const uint32_t w = p.w;
+  const uint32_t d = p.d;
   uint32_t c = 0;
   CDB_RETURN_IF_ERROR(SelectCustomer(rng, w, d, &c));
 
@@ -231,16 +301,16 @@ Status Workload::OrderStatus(TpccRandom* rng) {
   OrderRow order;
   CDB_RETURN_IF_ERROR(OrderRow::Decode(raw, &order));
 
-  // Read the order's lines.
+  // Read the order's lines (through the facade scan, so an execute-phase
+  // slot sees its own staged order lines).
   std::string begin_key = OrderLineKey(w, d, o_id, 0);
   std::string end_key = OrderLineKey(w, d, o_id + 1, 0);
   size_t lines = 0;
-  CDB_RETURN_IF_ERROR(db_->tree(tables_.order_line)
-                          ->ScanRangeCurrent(begin_key, end_key,
-                                             [&](const TupleData&) {
-                                               ++lines;
-                                               return Status::OK();
-                                             }));
+  CDB_RETURN_IF_ERROR(db_->ScanCurrent(tables_.order_line, begin_key, end_key,
+                                       [&](const TupleData&) {
+                                         ++lines;
+                                         return Status::OK();
+                                       }));
   return Status::OK();
 }
 
@@ -356,8 +426,16 @@ Status Workload::StockLevelRO(const SnapshotReader& snap,
 }
 
 Status Workload::Delivery(TpccRandom* rng) {
-  uint32_t w = RandomWarehouse(rng);
-  uint32_t carrier = static_cast<uint32_t>(rng->Uniform(1, 10));
+  SlotParams p;
+  DrawSlotParams(3, rng, &p, nullptr);
+  p.now = db_->Now();
+  return Delivery(rng, p);
+}
+
+Status Workload::Delivery(TpccRandom* rng, const SlotParams& p) {
+  (void)rng;  // every Delivery draw is hoisted to DrawSlotParams
+  const uint32_t w = p.w;
+  const uint32_t carrier = p.carrier;
 
   for (uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
     // Oldest undelivered order in this district.
@@ -366,13 +444,12 @@ Status Workload::Delivery(TpccRandom* rng) {
     std::string begin_key = NewOrderKey(w, d, 0);
     std::string end_key = NewOrderKey(w, d + 1, 0);
     CDB_RETURN_IF_ERROR(
-        db_->tree(tables_.new_order)
-            ->ScanRangeCurrent(begin_key, end_key,
-                               [&](const TupleData& t) {
-                                 o_id = DecodeBigEndian32(t.key.data() + 8);
-                                 found = true;
-                                 return Status::Busy("stop");
-                               }));
+        db_->ScanCurrent(tables_.new_order, begin_key, end_key,
+                         [&](const TupleData& t) {
+                           o_id = DecodeBigEndian32(t.key.data() + 8);
+                           found = true;
+                           return Status::Busy("stop");
+                         }));
     if (!found) continue;
 
     auto begin = db_->Begin();
@@ -395,18 +472,16 @@ Status Workload::Delivery(TpccRandom* rng) {
     std::vector<std::pair<std::string, OrderLineRow>> lines;
     std::string ol_begin = OrderLineKey(w, d, o_id, 0);
     std::string ol_end = OrderLineKey(w, d, o_id + 1, 0);
-    CDB_RETURN_IF_ERROR(db_->tree(tables_.order_line)
-                            ->ScanRangeCurrent(
-                                ol_begin, ol_end,
-                                [&](const TupleData& t) {
-                                  OrderLineRow line;
-                                  Status ds =
-                                      OrderLineRow::Decode(t.value, &line);
-                                  if (!ds.ok()) return ds;
-                                  lines.emplace_back(t.key, line);
-                                  return Status::OK();
-                                }));
-    uint64_t now = db_->Now();
+    CDB_RETURN_IF_ERROR(
+        db_->ScanCurrent(tables_.order_line, ol_begin, ol_end,
+                         [&](const TupleData& t) {
+                           OrderLineRow line;
+                           Status ds = OrderLineRow::Decode(t.value, &line);
+                           if (!ds.ok()) return ds;
+                           lines.emplace_back(t.key, line);
+                           return Status::OK();
+                         }));
+    uint64_t now = p.now;
     for (auto& [key, line] : lines) {
       total += line.amount_cents;
       line.delivery_d = now;
@@ -429,8 +504,14 @@ Status Workload::Delivery(TpccRandom* rng) {
 }
 
 Status Workload::StockLevel(TpccRandom* rng) {
-  uint32_t w = RandomWarehouse(rng);
-  uint32_t d = RandomDistrict(rng);
+  SlotParams p;
+  DrawSlotParams(4, rng, &p, nullptr);
+  return StockLevel(rng, p);
+}
+
+Status Workload::StockLevel(TpccRandom* rng, const SlotParams& p) {
+  const uint32_t w = p.w;
+  const uint32_t d = p.d;
   int32_t threshold = static_cast<int32_t>(rng->Uniform(10, 20));
 
   std::string raw;
@@ -443,17 +524,15 @@ Status Workload::StockLevel(TpccRandom* rng) {
   std::set<uint32_t> items;
   std::string begin_key = OrderLineKey(w, d, from, 0);
   std::string end_key = OrderLineKey(w, d, district.next_o_id, 0);
-  CDB_RETURN_IF_ERROR(db_->tree(tables_.order_line)
-                          ->ScanRangeCurrent(
-                              begin_key, end_key,
-                              [&](const TupleData& t) {
-                                OrderLineRow line;
-                                Status ds =
-                                    OrderLineRow::Decode(t.value, &line);
-                                if (!ds.ok()) return ds;
-                                items.insert(line.i_id);
-                                return Status::OK();
-                              }));
+  CDB_RETURN_IF_ERROR(
+      db_->ScanCurrent(tables_.order_line, begin_key, end_key,
+                       [&](const TupleData& t) {
+                         OrderLineRow line;
+                         Status ds = OrderLineRow::Decode(t.value, &line);
+                         if (!ds.ok()) return ds;
+                         items.insert(line.i_id);
+                         return Status::OK();
+                       }));
   size_t low = 0;
   for (uint32_t i_id : items) {
     Status s = db_->Get(tables_.stock, StockKey(w, i_id), &raw);

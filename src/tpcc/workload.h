@@ -2,6 +2,7 @@
 #define COMPLYDB_TPCC_WORKLOAD_H_
 
 #include <cstdint>
+#include <map>
 
 #include "db/compliant_db.h"
 #include "db/snapshot_reader.h"
@@ -24,6 +25,28 @@ struct Tables {
   uint32_t stock = 0;
   uint32_t cust_last_order = 0;
   uint32_t customer_by_name = 0;  // secondary index (clause 2.5.1.2)
+};
+
+/// The footprint-determining prefix of a slot's parameter draws, hoisted
+/// to issue time so the admission controller can classify the slot before
+/// its ticket is reserved (DESIGN.md, "Disjoint-slot scheduling"). The
+/// body continues on the same rng stream, so slot content remains a pure
+/// function of (seed, slot number).
+struct SlotParams {
+  int type = 0;       // mix card: 0 NewOrder .. 4 StockLevel
+  uint64_t now = 0;   // deterministic slot time (entry_d / H_DATE / OL_DELIVERY_D)
+  uint32_t w = 0;
+  uint32_t d = 0;
+  // NewOrder
+  uint32_t c = 0;
+  bool rollback = false;
+  std::map<uint32_t, uint32_t> item_qty;  // i_id -> quantity (coalesced)
+  std::map<uint32_t, uint32_t> supplies;  // i_id -> remote supply warehouse
+  // Payment
+  uint32_t c_w = 0;
+  uint32_t c_d = 0;
+  // Delivery
+  uint32_t carrier = 0;
 };
 
 struct MixStats {
@@ -70,6 +93,27 @@ class Workload {
   Status Delivery(TpccRandom* rng);
   Status StockLevel(TpccRandom* rng);
   Status NewOrder(bool* committed) { return NewOrder(committed, &rng_); }
+
+  /// Draws the issue-time parameter prefix of a type-`type` slot into
+  /// `params` and the set of warehouses it touches into `footprint` (one
+  /// partition per distinct warehouse). The caller passes the same rng to
+  /// the body afterwards. `params->now` is left for the caller to set.
+  void DrawSlotParams(int type, TpccRandom* rng, SlotParams* params,
+                      SlotFootprint* footprint);
+
+  // Param-taking bodies: every draw hoisted by DrawSlotParams comes from
+  // `p`; draws that cannot be hoisted (customer-by-name selection, the
+  // payment amount, the stock threshold) continue on `rng`.
+  Status NewOrder(bool* committed, TpccRandom* rng, const SlotParams& p);
+  Status Payment(TpccRandom* rng, const SlotParams& p);
+  Status OrderStatus(TpccRandom* rng, const SlotParams& p);
+  Status Delivery(TpccRandom* rng, const SlotParams& p);
+  Status StockLevel(TpccRandom* rng, const SlotParams& p);
+
+  /// Cross-warehouse rate override in basis points for the remote
+  /// NewOrder supply (spec: 1%) and remote Payment customer (spec: 15%)
+  /// draws; -1 keeps the spec rates. The benchmark's --cross-rate knob.
+  void set_cross_rate_bp(int bp) { cross_bp_ = bp; }
   Status Payment() { return Payment(&rng_); }
   Status OrderStatus() { return OrderStatus(&rng_); }
   Status Delivery() { return Delivery(&rng_); }
@@ -133,6 +177,7 @@ class Workload {
   uint64_t seed_;
   TpccRandom rng_;
   Tables tables_;
+  int cross_bp_ = -1;
 };
 
 }  // namespace tpcc

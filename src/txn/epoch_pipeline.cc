@@ -40,6 +40,10 @@ struct CommitPipeline::SlotContext {
   bool implicit = false;
   uint64_t max_offset = 0;
   std::vector<std::pair<uint32_t, std::mutex*>> latches;
+  // Scheduler execute phase (disjoint from owner: a thread executes a
+  // slot body *before* it owns the turnstile).
+  CommitPipeline* exec_owner = nullptr;
+  SlotWriteBuffer* exec_buffer = nullptr;
 };
 
 CommitPipeline::SlotContext& CommitPipeline::Tls() {
@@ -53,9 +57,43 @@ CommitPipeline::CommitPipeline(BarrierFn barrier)
 CommitPipeline::~CommitPipeline() = default;
 
 uint64_t CommitPipeline::ReserveTicket() {
+  return ReserveTicket(SlotScheduler::Admission::kExclusive, 0);
+}
+
+uint64_t CommitPipeline::ReserveTicket(SlotScheduler::Admission admission,
+                                       uint64_t partition) {
   std::lock_guard<std::mutex> lock(mu_);
   reserved_.fetch_add(1, std::memory_order_acq_rel);
-  return next_ticket_++;
+  const uint64_t ticket = next_ticket_++;
+  // Under mu_: conflict-table entries appear in ticket order, so a later
+  // ticket's WaitAdmissible can never miss an earlier reservation.
+  if (scheduler_ != nullptr) {
+    scheduler_->Register(ticket, admission, partition);
+  }
+  return ticket;
+}
+
+void CommitPipeline::EnableScheduler() {
+  scheduler_ = std::make_unique<SlotScheduler>();
+}
+
+void CommitPipeline::BeginExecute(uint64_t ticket, SlotWriteBuffer* buf) {
+  scheduler_->WaitAdmissible(ticket);
+  SlotContext& ctx = Tls();
+  ctx.exec_owner = this;
+  ctx.exec_buffer = buf;
+}
+
+void CommitPipeline::EndExecute() {
+  SlotContext& ctx = Tls();
+  if (ctx.exec_owner != this) return;
+  ctx.exec_owner = nullptr;
+  ctx.exec_buffer = nullptr;
+}
+
+SlotWriteBuffer* CommitPipeline::ExecBuffer() const {
+  const SlotContext& ctx = Tls();
+  return ctx.exec_owner == this ? ctx.exec_buffer : nullptr;
 }
 
 void CommitPipeline::OpenSlot(uint64_t ticket, bool implicit) {
@@ -87,6 +125,7 @@ Status CommitPipeline::CloseSlot() {
     return Status::InvalidArgument("no open commit slot on this thread");
   }
   const uint64_t target = ctx.max_offset;
+  const uint64_t ticket = ctx.ticket;
   for (auto& held : ctx.latches) held.second->unlock();
   ctx.latches.clear();
   ctx.owner = nullptr;
@@ -99,6 +138,9 @@ Status CommitPipeline::CloseSlot() {
     }
   }
   cv_.notify_all();
+  // Only after the slot's writes are applied and the turnstile has moved
+  // past it may conflicting slots start executing.
+  if (scheduler_ != nullptr) scheduler_->Release(ticket);
   // The turnstile is free: the epoch wait below overlaps with the next
   // slots' engine work. Only after the barrier is this slot done.
   Status s = WaitEpochDurable(target);
@@ -120,6 +162,7 @@ void CommitPipeline::Abandon(uint64_t ticket) {
     }
   }
   cv_.notify_all();
+  if (scheduler_ != nullptr) scheduler_->Release(ticket);
   completed_.fetch_add(1, std::memory_order_acq_rel);
 }
 

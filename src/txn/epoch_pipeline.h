@@ -40,14 +40,24 @@
 //
 // Partition latches (per tree id) are acquired on first write inside a
 // slot and released at CloseSlot. Under the turnstile they are
-// uncontended; they are the safety fence for a future relaxation that
-// admits disjoint-partition slots concurrently, and their acquire/wait
-// counters make any contention visible today.
+// uncontended; they are the safety fence backing the disjoint-slot
+// scheduler, and their acquire/wait counters make any contention visible.
+//
+// With the disjoint-slot scheduler enabled (EnableScheduler), slots that
+// declare a single-partition footprint may *execute* before the turnstile
+// admits them: BeginExecute blocks only until every earlier unreleased
+// ticket is footprint-disjoint, the body runs against a SlotWriteBuffer
+// (ExecBuffer routes the engine's Begin/Put/Delete/Get there), and the
+// buffered ops are replayed through the real engine once OpenSlot admits
+// the ticket. Engine mutation therefore stays serial and in ticket order
+// — only the read-mostly execute phases overlap — which is what keeps L
+// byte-identical at any thread count. See src/txn/slot_scheduler.h.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <unordered_map>
@@ -55,8 +65,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "txn/slot_scheduler.h"
 
 namespace complydb {
+
+class SlotWriteBuffer;
 
 class CommitPipeline {
  public:
@@ -75,8 +88,31 @@ class CommitPipeline {
 
   /// Reserves the next slot ticket. Tickets are admitted strictly in
   /// reservation order; every reserved ticket must eventually be passed
-  /// to OpenSlot or Abandon, or the turnstile stalls.
+  /// to OpenSlot or Abandon, or the turnstile stalls. Registers the
+  /// ticket as exclusive-admission when the scheduler is enabled.
   uint64_t ReserveTicket();
+
+  /// Reserves a ticket with a declared footprint class (scheduler mode).
+  /// Registration is atomic with ticket issuance, so a later ticket's
+  /// admission wait always sees this reservation.
+  uint64_t ReserveTicket(SlotScheduler::Admission admission,
+                         uint64_t partition);
+
+  /// Turns on disjoint-slot scheduling. Must be called before the first
+  /// reservation (not thread-safe against in-flight slots).
+  void EnableScheduler();
+  SlotScheduler* scheduler() const { return scheduler_.get(); }
+
+  /// Scheduler execute phase: blocks until `ticket` is admissible (every
+  /// earlier unreleased ticket disjoint), then routes this thread's
+  /// engine calls to `buf` until EndExecute. Only concurrent-class
+  /// tickets call this; exclusive tickets go straight to OpenSlot.
+  void BeginExecute(uint64_t ticket, SlotWriteBuffer* buf);
+  void EndExecute();
+
+  /// The execute-phase staging buffer of the calling thread, or nullptr
+  /// outside an execute phase (TransactionManager routes through this).
+  SlotWriteBuffer* ExecBuffer() const;
 
   /// Blocks until the turnstile admits `ticket`, then marks the calling
   /// thread as the open slot's owner. The admission wait is recorded as
@@ -136,6 +172,7 @@ class CommitPipeline {
 
   BarrierFn barrier_;
   SealFn seal_;
+  std::unique_ptr<SlotScheduler> scheduler_;
 
   // --- turnstile ---
   mutable std::mutex mu_;

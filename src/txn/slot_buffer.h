@@ -1,0 +1,101 @@
+#ifndef COMPLYDB_TXN_SLOT_BUFFER_H_
+#define COMPLYDB_TXN_SLOT_BUFFER_H_
+
+// Per-slot deferred-write staging for the disjoint-slot scheduler.
+//
+// A concurrently *executing* slot never mutates the engine: its
+// Begin/Put/Delete/Commit/Abort calls are routed here, appended to an
+// ordered op log, and mirrored into a key overlay so the slot's own reads
+// and scans observe its writes. When the turnstile later admits the
+// slot's ticket, CompliantDB replays the op log through the real engine —
+// WAL records, compliance-log appends, version inserts, and commit-time
+// ticks all happen at apply time, in ticket order, on one thread at a
+// time. That replay is what keeps L, the stamp index, and the sealed
+// epoch chain byte-identical to a serial run: the execute phase produces
+// no observable engine effects at all.
+//
+// The overlay distinguishes the *pending* writes of the slot's active
+// transaction (discarded on abort) from *committed* writes of earlier
+// transactions in the same slot (TPC-C Delivery commits one transaction
+// per district). Aborted transactions keep their ops in the log — replay
+// runs the abort through the engine so L carries the same ABORT/CLR
+// records a serial execution would.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/transaction_manager.h"
+
+namespace complydb {
+
+class SlotWriteBuffer {
+ public:
+  enum class OpKind : uint8_t { kBegin, kPut, kDelete, kCommit, kAbort };
+
+  struct Op {
+    OpKind kind;
+    uint32_t tree_id = 0;
+    std::string key;
+    std::string value;
+  };
+
+  enum class Overlay { kMiss, kPresent, kDeleted };
+
+  SlotWriteBuffer() = default;
+  ~SlotWriteBuffer() = default;
+
+  SlotWriteBuffer(const SlotWriteBuffer&) = delete;
+  SlotWriteBuffer& operator=(const SlotWriteBuffer&) = delete;
+
+  /// Starts a deferred transaction: returns a stub Transaction owned by
+  /// the buffer (its id is assigned at replay). Busy when one is active,
+  /// mirroring the serial engine.
+  Result<Transaction*> BeginDeferred();
+
+  /// Records a write. Rejects a second write to one key in the same
+  /// transaction with the engine's coalesce-writes error.
+  Status Put(Transaction* txn, uint32_t tree_id, Slice key, Slice value);
+
+  /// Records a delete. The caller (TransactionManager) has already
+  /// established that the key is live in the overlay or the engine.
+  Status Delete(Transaction* txn, uint32_t tree_id, Slice key);
+
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// Overlay lookup: pending writes of the active transaction shadow
+  /// committed slot writes, which shadow the engine (kMiss = ask the
+  /// engine).
+  Overlay Lookup(uint32_t tree_id, Slice key, std::string* value) const;
+
+  /// Merges the overlay entries of `tree_id` with keys in [begin, end)
+  /// into `out` (pending over committed). Values are nullopt for keys the
+  /// slot deleted. Used by the overlay-merged scan.
+  void CollectRange(
+      uint32_t tree_id, Slice begin, Slice end,
+      std::map<std::string, std::optional<std::string>>* out) const;
+
+  const std::vector<Op>& ops() const { return ops_; }
+  bool has_active() const { return active_ != nullptr; }
+
+ private:
+  using OverlayKey = std::pair<uint32_t, std::string>;
+
+  std::vector<Op> ops_;
+  // Stub transactions stay alive for the buffer's lifetime so caller-held
+  // pointers never dangle, even after commit/abort.
+  std::vector<std::unique_ptr<Transaction>> txns_;
+  Transaction* active_ = nullptr;
+  std::map<OverlayKey, std::optional<std::string>> committed_;
+  std::map<OverlayKey, std::optional<std::string>> pending_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_TXN_SLOT_BUFFER_H_

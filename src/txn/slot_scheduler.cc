@@ -1,0 +1,95 @@
+#include "txn/slot_scheduler.h"
+
+#include "obs/span.h"
+
+namespace complydb {
+
+SlotScheduler::SlotScheduler() {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg_admitted_ = reg.GetCounter("txn.scheduler.admitted_concurrent");
+  reg_serialized_ = reg.GetCounter("txn.scheduler.serialized");
+  reg_fallbacks_ = reg.GetCounter("txn.scheduler.footprint_fallbacks");
+  reg_conflict_waits_ = reg.GetCounter("txn.scheduler.conflict_waits");
+}
+
+void SlotScheduler::Register(uint64_t ticket, Admission admission,
+                             uint64_t partition) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(ticket, Entry{admission, partition});
+  }
+  switch (admission) {
+    case Admission::kConcurrent:
+      break;  // counted at admission (WaitAdmissible)
+    case Admission::kFallback:
+      footprint_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      reg_fallbacks_->Inc();
+      break;
+    case Admission::kExclusive:
+      serialized_.fetch_add(1, std::memory_order_relaxed);
+      reg_serialized_->Inc();
+      break;
+  }
+}
+
+bool SlotScheduler::IsConcurrent(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ticket);
+  return it != entries_.end() && it->second.admission == Admission::kConcurrent;
+}
+
+bool SlotScheduler::AdmissibleLocked(uint64_t ticket,
+                                     uint64_t partition) const {
+  for (const auto& [other, entry] : entries_) {
+    if (other >= ticket) break;  // waits only point backward
+    if (entry.admission != Admission::kConcurrent) return false;
+    if (entry.partition == partition) return false;
+  }
+  return true;
+}
+
+void SlotScheduler::WaitAdmissible(uint64_t ticket) {
+  const bool spans = obs::SpansEnabled();
+  const uint64_t t0 = spans ? obs::MonotonicMicros() : 0;
+  uint64_t partition = 0;
+  bool waited = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(ticket);
+    if (it == entries_.end()) return;  // abandoned before execution
+    partition = it->second.partition;
+    if (!AdmissibleLocked(ticket, partition)) {
+      waited = true;
+      cv_.wait(lock, [&] { return AdmissibleLocked(ticket, partition); });
+    }
+  }
+  admitted_concurrent_.fetch_add(1, std::memory_order_relaxed);
+  reg_admitted_->Inc();
+  if (waited) {
+    conflict_waits_.fetch_add(1, std::memory_order_relaxed);
+    reg_conflict_waits_->Inc();
+  }
+  if (spans) {
+    obs::SpanRing::Global().Emit(obs::SpanKind::kSchedulerAdmit, ticket, t0,
+                                 obs::MonotonicMicros(), partition);
+  }
+}
+
+void SlotScheduler::Release(uint64_t ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.erase(ticket) == 0) return;
+  }
+  cv_.notify_all();
+}
+
+double SlotScheduler::declared_hit_rate() const {
+  const uint64_t concurrent =
+      admitted_concurrent_.load(std::memory_order_relaxed);
+  const uint64_t total = concurrent +
+                         serialized_.load(std::memory_order_relaxed) +
+                         footprint_fallbacks_.load(std::memory_order_relaxed);
+  return total == 0 ? 1.0 : static_cast<double>(concurrent) / total;
+}
+
+}  // namespace complydb

@@ -1,0 +1,122 @@
+#ifndef COMPLYDB_TXN_SLOT_SCHEDULER_H_
+#define COMPLYDB_TXN_SLOT_SCHEDULER_H_
+
+// Disjoint-slot admission controller.
+//
+// The PR 6 turnstile admits slot *bodies* strictly one at a time; the
+// scheduler relaxes that for slots whose declared footprints are pairwise
+// disjoint. A footprint is a set of opaque partition keys (TPC-C declares
+// the warehouse id; other callers may declare a tree id). The conflict
+// table holds one entry per reserved-but-unreleased ticket:
+//
+//   * a slot that declares exactly one partition is *concurrent-class*:
+//     its body may execute (against a SlotWriteBuffer) as soon as every
+//     earlier unreleased ticket is concurrent-class and holds a different
+//     partition — WaitAdmissible blocks until then;
+//   * a slot that declares several partitions falls back to exclusive
+//     admission (footprint_fallbacks), and an undeclared slot — bare
+//     Begin/Commit callers, non-TPC-C bodies — is exclusive too
+//     (serialized). Exclusive tickets never call WaitAdmissible: the
+//     turnstile wait for `next_to_admit_ == ticket` already implies every
+//     earlier ticket has been released, which is strictly stronger.
+//
+// Entries are registered under the pipeline's turnstile mutex (atomic
+// with ticket issuance, so WaitAdmissible always sees every earlier
+// reservation) and released when the turnstile advances past the ticket,
+// i.e. after the slot's buffered writes have been applied to the engine.
+// All waits therefore point backward in ticket order: the earliest
+// unreleased ticket can always make progress, so the scheduler cannot
+// deadlock.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace complydb {
+
+/// Partition keys a write slot declares at ReserveWriteSlot. Empty means
+/// "undeclared" (exclusive admission, today's semantics).
+struct SlotFootprint {
+  std::vector<uint64_t> partitions;
+};
+
+class SlotScheduler {
+ public:
+  enum class Admission {
+    kConcurrent,  // single declared partition: may execute concurrently
+    kFallback,    // multi-partition declaration: exclusive admission
+    kExclusive,   // undeclared: exclusive admission
+  };
+
+  SlotScheduler();
+
+  SlotScheduler(const SlotScheduler&) = delete;
+  SlotScheduler& operator=(const SlotScheduler&) = delete;
+
+  /// Adds `ticket` to the conflict table. The caller must serialize
+  /// registrations in ticket order (the pipeline calls this under its
+  /// turnstile mutex, atomically with ticket issuance).
+  void Register(uint64_t ticket, Admission admission, uint64_t partition);
+
+  /// True when `ticket` was registered concurrent-class.
+  bool IsConcurrent(uint64_t ticket) const;
+
+  /// Blocks until every unreleased ticket earlier than `ticket` is
+  /// concurrent-class with a different partition. Emits the
+  /// txn.scheduler.admit span and bumps admitted_concurrent (and
+  /// conflict_waits when the call had to block).
+  void WaitAdmissible(uint64_t ticket);
+
+  /// Drops `ticket` from the conflict table and wakes waiters. Called at
+  /// turnstile release (slot writes fully applied) and on Abandon.
+  void Release(uint64_t ticket);
+
+  // Per-instance accounting (shell `stats`); the registry mirrors these
+  // under txn.scheduler.*.
+  uint64_t admitted_concurrent() const {
+    return admitted_concurrent_.load(std::memory_order_relaxed);
+  }
+  uint64_t serialized() const {
+    return serialized_.load(std::memory_order_relaxed);
+  }
+  uint64_t footprint_fallbacks() const {
+    return footprint_fallbacks_.load(std::memory_order_relaxed);
+  }
+  uint64_t conflict_waits() const {
+    return conflict_waits_.load(std::memory_order_relaxed);
+  }
+  /// Fraction of reserved slots that declared a usable (single-partition)
+  /// footprint. 1.0 when nothing has been reserved yet.
+  double declared_hit_rate() const;
+
+ private:
+  struct Entry {
+    Admission admission;
+    uint64_t partition;
+  };
+
+  bool AdmissibleLocked(uint64_t ticket, uint64_t partition) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Entry> entries_;  // unreleased tickets, ticket order
+
+  std::atomic<uint64_t> admitted_concurrent_{0};
+  std::atomic<uint64_t> serialized_{0};
+  std::atomic<uint64_t> footprint_fallbacks_{0};
+  std::atomic<uint64_t> conflict_waits_{0};
+
+  obs::Counter* reg_admitted_;
+  obs::Counter* reg_serialized_;
+  obs::Counter* reg_fallbacks_;
+  obs::Counter* reg_conflict_waits_;
+};
+
+}  // namespace complydb
+
+#endif  // COMPLYDB_TXN_SLOT_SCHEDULER_H_

@@ -7,6 +7,7 @@
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "txn/epoch_pipeline.h"
+#include "txn/slot_buffer.h"
 
 namespace complydb {
 
@@ -52,6 +53,13 @@ uint64_t TransactionManager::NextTick() {
 }
 
 Result<Transaction*> TransactionManager::Begin() {
+  // Scheduler execute phase: defer the whole transaction into the slot's
+  // staging buffer. Ticks, WAL records, and metrics happen at replay.
+  if (pipeline_ != nullptr) {
+    if (SlotWriteBuffer* buf = pipeline_->ExecBuffer()) {
+      return buf->BeginDeferred();
+    }
+  }
   if (active_ != nullptr) {
     return Status::Busy("a transaction is already active (serial engine)");
   }
@@ -76,6 +84,9 @@ Status TransactionManager::Put(Transaction* txn, uint32_t tree_id, Slice key,
   }
   Btree* tree = GetTree(tree_id);
   if (tree == nullptr) return Status::InvalidArgument("unknown tree");
+  if (txn->slot_buffer_ != nullptr) {
+    return txn->slot_buffer_->Put(txn, tree_id, key, value);
+  }
   if (pipeline_ != nullptr) pipeline_->AcquirePartitionLatch(tree_id);
 
   // A second write to the same key in one transaction would physically
@@ -108,6 +119,22 @@ Status TransactionManager::Delete(Transaction* txn, uint32_t tree_id,
   }
   Btree* tree = GetTree(tree_id);
   if (tree == nullptr) return Status::InvalidArgument("unknown tree");
+  if (txn->slot_buffer_ != nullptr) {
+    // Liveness check against the overlay first, then the engine (the
+    // same NotFound contract as the direct path below).
+    switch (txn->slot_buffer_->Lookup(tree_id, key, nullptr)) {
+      case SlotWriteBuffer::Overlay::kDeleted:
+        return Status::NotFound("no live version to delete");
+      case SlotWriteBuffer::Overlay::kMiss: {
+        TupleData latest;
+        CDB_RETURN_IF_ERROR(tree->GetLatest(key, &latest));
+        break;
+      }
+      case SlotWriteBuffer::Overlay::kPresent:
+        break;
+    }
+    return txn->slot_buffer_->Delete(txn, tree_id, key);
+  }
   if (pipeline_ != nullptr) pipeline_->AcquirePartitionLatch(tree_id);
 
   TupleData latest;
@@ -130,6 +157,21 @@ Status TransactionManager::Get(Transaction* txn, uint32_t tree_id, Slice key,
   (void)txn;  // serial engine: the latest version is the visible one
   Btree* tree = GetTree(tree_id);
   if (tree == nullptr) return Status::InvalidArgument("unknown tree");
+  // Execute-phase reads see the slot's own staged writes first; misses
+  // fall through to committed engine state (disjoint admission guarantees
+  // no concurrent slot writes the partitions this slot reads).
+  if (pipeline_ != nullptr) {
+    if (SlotWriteBuffer* buf = pipeline_->ExecBuffer()) {
+      switch (buf->Lookup(tree_id, key, value)) {
+        case SlotWriteBuffer::Overlay::kPresent:
+          return Status::OK();
+        case SlotWriteBuffer::Overlay::kDeleted:
+          return Status::NotFound("deleted in this slot");
+        case SlotWriteBuffer::Overlay::kMiss:
+          break;
+      }
+    }
+  }
   TupleData t;
   CDB_RETURN_IF_ERROR(tree->GetLatest(key, &t));
   *value = t.value;

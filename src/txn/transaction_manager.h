@@ -20,6 +20,7 @@
 namespace complydb {
 
 class CommitPipeline;
+class SlotWriteBuffer;
 
 /// One write performed by a transaction (final state per key; an in-txn
 /// overwrite replaces the entry). Drives abort-undo bookkeeping, lazy
@@ -47,8 +48,14 @@ class Transaction {
   State state() const { return state_; }
   uint64_t commit_time() const { return commit_time_; }
 
+  /// Non-null for a deferred transaction created during a scheduler
+  /// execute phase: its writes live in the slot's staging buffer until
+  /// replay. CompliantDB routes Commit/Abort on it back to the buffer.
+  SlotWriteBuffer* slot_buffer() const { return slot_buffer_; }
+
  private:
   friend class TransactionManager;
+  friend class SlotWriteBuffer;
 
   TxnId id_ = 0;
   State state_ = State::kActive;
@@ -56,6 +63,7 @@ class Transaction {
   TxnWalContext wal_;
   std::vector<TxnWrite> writes_;
   std::vector<UndoAction> undo_;
+  SlotWriteBuffer* slot_buffer_ = nullptr;
 };
 
 /// Transaction engine: begin/commit/abort with steal/no-force semantics,

@@ -96,13 +96,21 @@ TEST_F(BufferCacheTest, EvictsInLeastRecentlyUsedOrder) {
   // Re-touch a: recency order is now b < c < a.
   EXPECT_EQ(ReadStamp(&cache, a), 1u);
   hook.writes.clear();
-  Alloc(&cache, 4);  // evicts b
+  // Every frame is dirty, so the first write fault hits a clean-frame
+  // drought: the shard flushes wholesale in page order (one deterministic
+  // batch), then recycles clean frames in recency order with no further
+  // write-out.
+  Alloc(&cache, 4);  // shard flush {a,b,c}, then evicts b
   Alloc(&cache, 5);  // evicts c
   Alloc(&cache, 6);  // evicts a
   ASSERT_EQ(hook.writes.size(), 3u);
-  EXPECT_EQ(hook.writes[0], b);
-  EXPECT_EQ(hook.writes[1], c);
-  EXPECT_EQ(hook.writes[2], a);
+  EXPECT_EQ(hook.writes[0], a);
+  EXPECT_EQ(hook.writes[1], b);
+  EXPECT_EQ(hook.writes[2], c);
+  EXPECT_GE(cache.evictions(), 3u);
+  // The flushed-then-evicted pages survived with their contents.
+  EXPECT_EQ(ReadStamp(&cache, b), 2u);
+  EXPECT_EQ(ReadStamp(&cache, c), 3u);
 }
 
 TEST_F(BufferCacheTest, HitsAndMisses) {

@@ -22,9 +22,11 @@
 #include <thread>
 #include <vector>
 
+#include "audit/epoch_chain.h"
 #include "compliance/compliance_log.h"
 #include "db/compliant_db.h"
 #include "tpcc/workload.h"
+#include "txn/slot_scheduler.h"
 
 namespace complydb {
 namespace {
@@ -139,7 +141,6 @@ TEST_F(WritePipelineTest, LogBytesIdenticalAcrossWriteThreads) {
     ASSERT_TRUE(db->FlushAll().ok());
     logs[i] = ReadFileBytes(dir + "/worm/" + LogFileName(0));
     indexes[i] = ReadFileBytes(dir + "/worm/" + StampIndexFileName(0));
-
     auto report = db->Audit();
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report.value().ok())
@@ -158,6 +159,125 @@ TEST_F(WritePipelineTest, LogBytesIdenticalAcrossWriteThreads) {
     EXPECT_EQ(stats[0].delivery, stats[i].delivery);
     EXPECT_EQ(stats[0].rollbacks, stats[i].rollbacks);
   }
+}
+
+// PR 8's sealed chain must survive concurrent slot execution unchanged:
+// with sealing deferred past the mix (large seal_min_bytes) and one
+// quiescent SealEpochNow per arm, the chain file covers identical L
+// prefixes and hashes to identical bytes at every thread count.
+TEST_F(WritePipelineTest, SealedChainBytesIdenticalAcrossWriteThreads) {
+  const uint32_t kThreads[] = {1, 2, 4};
+  const uint64_t kSlots = 100;
+  std::string chains[3];
+  for (int i = 0; i < 3; ++i) {
+    uint32_t wt = kThreads[i];
+    std::string dir = FreshDir("chain_wt" + std::to_string(wt));
+    clock_ = std::make_unique<SimulatedClock>();
+    DbOptions opts = MakeOptions(dir, wt);
+    // No mid-run seals: the leader's threshold is never reached, so the
+    // single post-quiescence seal covers the same L range in every arm.
+    opts.seal_min_bytes = 1ull << 40;
+    auto db = Open(opts);
+    ASSERT_NE(db, nullptr);
+
+    tpcc::Workload workload(db.get(), SmallScale(), /*seed=*/7);
+    ASSERT_TRUE(workload.CreateOrAttachTables().ok());
+    ASSERT_TRUE(workload.Load().ok());
+    tpcc::MixStats stats;
+    Status run = workload.RunMixConcurrent(kSlots, wt, clock_.get(),
+                                           /*advance_micros=*/700, &stats);
+    ASSERT_TRUE(run.ok()) << run.ToString();
+    ASSERT_TRUE(db->SealEpochNow().ok());
+    ASSERT_TRUE(db->Close().ok());
+    // Chain bytes are appended unflushed (the seal must not pay a filer
+    // round trip); teardown drains them to disk.
+    db.reset();
+    chains[i] = ReadFileBytes(dir + "/worm/" + ChainFileName(0));
+  }
+  ASSERT_FALSE(chains[0].empty());
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(chains[0], chains[i])
+        << "sealed chain diverged: write_threads=1 vs " << kThreads[i];
+  }
+}
+
+// Forced total conflict: one warehouse means every slot declares the
+// same partition, so the scheduler admits them one at a time — the run
+// degenerates to the turnstile schedule (waits, not wrong answers).
+TEST_F(WritePipelineTest, SingleWarehouseConflictDegeneratesSerial) {
+  std::string dir = FreshDir("conflict");
+  auto db = Open(MakeOptions(dir, /*write_threads=*/4));
+  ASSERT_NE(db, nullptr);
+  EXPECT_STREQ(db->scheduler_mode(), "disjoint");
+
+  tpcc::Scale scale;
+  scale.warehouses = 1;
+  scale.customers_per_district = 20;
+  scale.items = 200;
+  scale.initial_orders_per_district = 10;
+  tpcc::Workload workload(db.get(), scale, /*seed=*/11);
+  ASSERT_TRUE(workload.CreateOrAttachTables().ok());
+  ASSERT_TRUE(workload.Load().ok());
+  tpcc::MixStats stats;
+  Status run = workload.RunMixConcurrent(/*slots=*/120, /*threads=*/4,
+                                         clock_.get(),
+                                         /*advance_micros=*/700, &stats);
+  ASSERT_TRUE(run.ok()) << run.ToString();
+  EXPECT_EQ(stats.total(), 120u);
+
+  ASSERT_NE(db->write_pipeline(), nullptr);
+  SlotScheduler* sched = db->write_pipeline()->scheduler();
+  ASSERT_NE(sched, nullptr);
+  // Every slot declared the one warehouse: all concurrent-class, and the
+  // shared partition forced real admission waits.
+  EXPECT_EQ(sched->admitted_concurrent() + sched->footprint_fallbacks(),
+            120u);
+  EXPECT_GT(sched->conflict_waits(), 0u);
+  EXPECT_EQ(db->write_pipeline()->in_flight(), 0u);
+
+  auto report = db->Audit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().ok())
+      << "first problem: " << report.value().problems[0];
+  ASSERT_TRUE(db->Close().ok());
+}
+
+// Crash after a concurrent TPC-C mix with records still queued behind a
+// huge group-commit window: recovery must reconcile WAL-durable commits
+// whose compliance tail died in the shipper ring, and the reopened
+// database must audit clean and keep committing through the scheduler.
+TEST_F(WritePipelineTest, CrashAfterConcurrentMixRecoversAndAuditsClean) {
+  std::string dir = FreshDir("crash_mix");
+  {
+    auto db = Open(MakeOptions(dir, /*write_threads=*/4, kHugeWindow,
+                               /*cache_pages=*/16));
+    ASSERT_NE(db, nullptr);
+    tpcc::Workload workload(db.get(), SmallScale(), /*seed=*/13);
+    ASSERT_TRUE(workload.CreateOrAttachTables().ok());
+    ASSERT_TRUE(workload.Load().ok());
+    tpcc::MixStats stats;
+    Status run = workload.RunMixConcurrent(/*slots=*/100, /*threads=*/4,
+                                           clock_.get(),
+                                           /*advance_micros=*/700, &stats);
+    ASSERT_TRUE(run.ok()) << run.ToString();
+    // Crash: destructor without Close drops the ring mid-epoch.
+  }
+  auto db = Open(MakeOptions(dir, /*write_threads=*/4, kHugeWindow,
+                             /*cache_pages=*/16));
+  ASSERT_NE(db, nullptr);
+  EXPECT_TRUE(db->recovered_from_crash());
+  tpcc::Workload workload(db.get(), SmallScale(), /*seed=*/13);
+  ASSERT_TRUE(workload.CreateOrAttachTables().ok());
+  tpcc::MixStats stats;
+  Status run = workload.RunMixConcurrent(/*slots=*/20, /*threads=*/4,
+                                         clock_.get(),
+                                         /*advance_micros=*/700, &stats);
+  ASSERT_TRUE(run.ok()) << run.ToString();
+  auto report = db->Audit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().ok())
+      << "first problem: " << report.value().problems[0];
+  ASSERT_TRUE(db->Close().ok());
 }
 
 // Bare Begin/Commit from many threads: each transaction gets an implicit

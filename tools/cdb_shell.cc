@@ -323,6 +323,24 @@ int main(int argc, char** argv) {
       std::printf("config: write_threads=%u cache_shards=%zu shipper=%s\n",
                   db->write_threads(), db->cache()->shards(),
                   db->shipper_mode());
+      if (auto* pipeline = db->write_pipeline();
+          pipeline != nullptr && pipeline->scheduler() != nullptr) {
+        auto* sched = pipeline->scheduler();
+        std::printf("scheduler: mode=%s admitted_concurrent=%llu "
+                    "serialized=%llu fallbacks=%llu conflict_waits=%llu "
+                    "declared_hit_rate=%.2f\n",
+                    db->scheduler_mode(),
+                    static_cast<unsigned long long>(
+                        sched->admitted_concurrent()),
+                    static_cast<unsigned long long>(sched->serialized()),
+                    static_cast<unsigned long long>(
+                        sched->footprint_fallbacks()),
+                    static_cast<unsigned long long>(
+                        sched->conflict_waits()),
+                    sched->declared_hit_rate());
+      } else {
+        std::printf("scheduler: mode=%s\n", db->scheduler_mode());
+      }
     } else if (cmd == "metrics") {
       if (args.size() >= 2 && args[1] == "prom") {
         std::printf("%s", db->DumpMetricsPrometheus().c_str());
